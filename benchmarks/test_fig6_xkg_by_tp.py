@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 6 — XKG runtime and memory, TriniT (T)
+vs Spec-QP (S), grouped by the number of triple patterns, k ∈ {10,15,20}.
+
+Shape to reproduce: S ≤ T in both runtime and answer objects on average,
+with the margin growing with query size and narrowing as k grows.
+"""
+
+from repro.experiments.figures import figure_efficiency_by_patterns, render
+
+
+def test_fig6_xkg_by_tp(benchmark, xkg_session):
+    groups = benchmark.pedantic(
+        lambda: figure_efficiency_by_patterns(xkg_session), rounds=1, iterations=1
+    )
+    print()
+    print(render(xkg_session, "patterns", "Figure 6"))
+
+    assert groups, "no groups produced"
+    # Aggregate shape check: Spec-QP does not do more work than TriniT.
+    total_t_objects = sum(g.trinit_objects * g.n_queries for g in groups)
+    total_s_objects = sum(g.spec_objects * g.n_queries for g in groups)
+    assert total_s_objects <= total_t_objects * 1.02
+    total_t_time = sum(g.trinit_seconds * g.n_queries for g in groups)
+    total_s_time = sum(g.spec_seconds * g.n_queries for g in groups)
+    assert total_s_time <= total_t_time * 1.15, (
+        f"Spec-QP slower overall: S={total_s_time:.2f}s T={total_t_time:.2f}s"
+    )

@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Figure 7 — XKG runtime and memory, T vs S,
+grouped by the number of triple patterns *relaxed by Spec-QP*.
+
+Shape to reproduce: the T/S gap is widest when few patterns are relaxed
+(the join group does plain rank joins) and vanishes — runtime slightly
+inverts, due to planning overhead — when every pattern is relaxed.
+"""
+
+from repro.experiments.figures import figure_efficiency_by_relaxed, render
+
+
+def test_fig7_xkg_by_relaxed(benchmark, xkg_session):
+    groups = benchmark.pedantic(
+        lambda: figure_efficiency_by_relaxed(xkg_session), rounds=1, iterations=1
+    )
+    print()
+    print(render(xkg_session, "relaxed", "Figure 7"))
+
+    assert groups
+    # Within each k: memory gain at the lowest relaxed-count group must be
+    # at least the gain at the highest group (the paper's closing-gap shape).
+    for k in xkg_session.ks:
+        k_groups = sorted(
+            (g for g in groups if g.k == k), key=lambda g: g.group
+        )
+        if len(k_groups) >= 2:
+            low, high = k_groups[0], k_groups[-1]
+            gain_low = low.trinit_objects / max(low.spec_objects, 1.0)
+            gain_high = high.trinit_objects / max(high.spec_objects, 1.0)
+            assert gain_low >= gain_high * 0.9, (
+                f"k={k}: memory gain did not shrink with more relaxed "
+                f"patterns ({gain_low:.2f} vs {gain_high:.2f})"
+            )
+    # When everything is relaxed the plans coincide: objects equal.
+    for g in groups:
+        max_patterns = 4
+        if g.group == max_patterns:
+            assert abs(g.spec_objects - g.trinit_objects) / g.trinit_objects < 0.05

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 8 — Twitter runtime and memory, T vs S,
+grouped by the number of triple patterns (2 or 3), k ∈ {10,15,20}.
+
+Shape to reproduce: S ≤ T on average; the sparse-match regime keeps many
+relaxations, so the margins are smaller than on XKG.
+"""
+
+from repro.experiments.figures import figure_efficiency_by_patterns, render
+
+
+def test_fig8_twitter_by_tp(benchmark, twitter_session):
+    groups = benchmark.pedantic(
+        lambda: figure_efficiency_by_patterns(twitter_session),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render(twitter_session, "patterns", "Figure 8"))
+
+    assert {g.group for g in groups} <= {2, 3}
+    total_t_objects = sum(g.trinit_objects * g.n_queries for g in groups)
+    total_s_objects = sum(g.spec_objects * g.n_queries for g in groups)
+    assert total_s_objects <= total_t_objects * 1.05

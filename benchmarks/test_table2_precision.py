@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Table 2 — precision (= recall) per dataset and k.
+
+Paper's numbers:      k=10   k=15   k=20
+  XKG                 0.70   0.88   0.91
+  Twitter             0.72   0.78   0.80
+
+Shape to reproduce: precision in the ~0.7–0.95 band on both datasets.
+"""
+
+from repro.experiments import table2
+
+
+def test_table2_xkg(benchmark, xkg_session):
+    rows = benchmark.pedantic(
+        lambda: table2.table2_precision(xkg_session), rounds=1, iterations=1
+    )
+    print()
+    print(table2.render(xkg_session))
+    for row in rows:
+        assert 0.0 <= row.precision <= 1.0
+    mean = sum(r.precision for r in rows) / len(rows)
+    assert mean >= 0.6, f"precision collapsed: {mean:.2f}"
+
+
+def test_table2_twitter(benchmark, twitter_session):
+    rows = benchmark.pedantic(
+        lambda: table2.table2_precision(twitter_session), rounds=1, iterations=1
+    )
+    print()
+    print(table2.render(twitter_session))
+    mean = sum(r.precision for r in rows) / len(rows)
+    assert mean >= 0.6, f"precision collapsed: {mean:.2f}"

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Table 4 — average score deviation of Spec-QP's
+top-k from the true top-k, grouped by query size.
+
+Paper's shape: small absolute errors (0.01–0.5, i.e. a few percent of the
+maximum possible score), shrinking as k grows.
+"""
+
+from repro.experiments import table4
+
+
+def test_table4_xkg(benchmark, xkg_session):
+    cells = benchmark.pedantic(
+        lambda: table4.table4_score_error(xkg_session), rounds=1, iterations=1
+    )
+    print()
+    print(table4.render(xkg_session))
+    populated = [c for c in cells if c.total > 0]
+    assert populated
+    # Deviations stay a small fraction of the max possible score.
+    assert all(c.mean_percent <= 50.0 for c in populated)
+
+
+def test_table4_twitter(benchmark, twitter_session):
+    cells = benchmark.pedantic(
+        lambda: table4.table4_score_error(twitter_session), rounds=1, iterations=1
+    )
+    print()
+    print(table4.render(twitter_session))
+    populated = [c for c in cells if c.total > 0]
+    assert all(c.mean_percent <= 50.0 for c in populated)

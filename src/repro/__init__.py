@@ -1,0 +1,55 @@
+"""Spec-QP — speculative query planning for top-k joins over scored
+knowledge graphs.
+
+Reproduction of Mohanty, Ramanath, Yahya & Weikum, *Spec-QP: Speculative
+Query Planning for Joins over Knowledge Graphs* (EDBT 2019).
+
+Quickstart::
+
+    from repro import KnowledgeGraph, RuleSet, SpecQPEngine, parse_sparql
+
+    kg = KnowledgeGraph()
+    kg.add("shakira", "rdf:type", "singer", score=120)
+    ...
+    engine = SpecQPEngine(kg, rules)
+    result = engine.query("SELECT ?s WHERE { ?s 'rdf:type' <singer> }", k=10)
+"""
+
+from repro.baselines import NaiveEngine, TriniTEngine
+from repro.core import (
+    EngineConfig,
+    ExpectedScoreEstimator,
+    QueryPlan,
+    QueryResult,
+    SpecQPEngine,
+    SpecQPPlanner,
+)
+from repro.kg import KnowledgeGraph, Triple, TriplePattern, Variable
+from repro.query import Answer, TriplePatternQuery, parse_sparql
+from repro.relax import RelaxationRule, RuleSet
+from repro.stats import StatisticsCatalog, TwoBucketHistogram
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Answer",
+    "EngineConfig",
+    "ExpectedScoreEstimator",
+    "KnowledgeGraph",
+    "NaiveEngine",
+    "QueryPlan",
+    "QueryResult",
+    "RelaxationRule",
+    "RuleSet",
+    "SpecQPEngine",
+    "SpecQPPlanner",
+    "StatisticsCatalog",
+    "TriniTEngine",
+    "Triple",
+    "TriplePattern",
+    "TriplePatternQuery",
+    "TwoBucketHistogram",
+    "Variable",
+    "parse_sparql",
+    "__version__",
+]

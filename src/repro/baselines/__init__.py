@@ -1,0 +1,13 @@
+"""Baseline engines the paper compares against.
+
+* :class:`~repro.baselines.trinit.TriniTEngine` — the non-speculative
+  engine of §2.1 (Incremental Merge per pattern + Rank Joins); produces
+  the *true* top-k and is the reference for all quality metrics.
+* :class:`~repro.baselines.naive.NaiveEngine` — the §1 strawman: evaluate
+  every relaxed query in the cross-product space, merge, sort, cut.
+"""
+
+from repro.baselines.naive import NaiveEngine
+from repro.baselines.trinit import TriniTEngine
+
+__all__ = ["NaiveEngine", "TriniTEngine"]

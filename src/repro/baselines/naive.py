@@ -1,0 +1,140 @@
+"""The naive all-relaxed-queries baseline (§1).
+
+"A naive method would compute the results to each query, sort the results
+by score and return the top-k": enumerate the full cross-product
+relaxation space (48 queries for the running example), evaluate each
+relaxed query completely with hash joins, apply the weight product to
+every answer, keep the maximum score per distinct binding, sort, cut.
+
+This engine exists for the motivation ablation — it shares no operator
+machinery because its whole point is the absence of incremental top-k
+processing.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pattern import TriplePattern
+from repro.query.answer import Answer
+from repro.query.query import TriplePatternQuery
+from repro.query.rewrite import enumerate_space
+from repro.relax.rules import RuleSet
+
+
+@dataclass(frozen=True)
+class NaiveResult:
+    answers: tuple[Answer, ...]
+    execution_seconds: float
+    queries_evaluated: int
+    answers_materialized: int
+
+
+class NaiveEngine:
+    """Evaluate every relaxed query fully, then merge/sort/cut."""
+
+    def __init__(self, graph: KnowledgeGraph, rules: RuleSet) -> None:
+        self.graph = graph
+        self.rules = rules
+
+    # ------------------------------------------------------------------
+    def _evaluate_slots(
+        self,
+        slot_patterns: tuple[TriplePattern, ...],
+        slot_weights: tuple[float, ...],
+    ) -> list[tuple[dict[str, str], float]]:
+        """All answers of a variant with per-slot weighted scores.
+
+        Each slot contributes ``w_slot · S(t | pattern_slot)`` to the
+        answer score — the same semantics the weighted Incremental Merge
+        plus Rank Join pipeline computes, so the naive engine's ground
+        truth matches the operator engines exactly.
+        """
+        rows: list[tuple[dict[str, str], float]] | None = None
+        for pattern, weight in zip(slot_patterns, slot_weights):
+            match_list = self.graph.match_list(pattern)
+            pattern_rows: list[tuple[dict[str, str], float]] = []
+            for position, triple in enumerate(match_list.triples):
+                bindings = pattern.bind(triple)
+                if bindings is not None:
+                    pattern_rows.append(
+                        (bindings, weight * match_list.normalized(position))
+                    )
+            if rows is None:
+                rows = pattern_rows
+                continue
+            seen_vars: set[str] = set()
+            for bindings, _ in rows:
+                seen_vars.update(bindings)
+                break  # all rows share the same variable set
+            shared = sorted(seen_vars & set(pattern.variable_names))
+            index: dict[tuple[str, ...], list[tuple[dict[str, str], float]]] = defaultdict(list)
+            for bindings, score in pattern_rows:
+                index[tuple(bindings.get(v, "") for v in shared)].append(
+                    (bindings, score)
+                )
+            merged: list[tuple[dict[str, str], float]] = []
+            for bindings, score in rows:
+                key = tuple(bindings.get(v, "") for v in shared)
+                for other_bindings, other_score in index.get(key, ()):
+                    conflict = False
+                    for name, value in other_bindings.items():
+                        if bindings.get(name, value) != value:
+                            conflict = True
+                            break
+                    if not conflict:
+                        combined = dict(bindings)
+                        combined.update(other_bindings)
+                        merged.append((combined, score + other_score))
+            rows = merged
+            if not rows:
+                break
+        return rows or []
+
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query: TriplePatternQuery,
+        k: int,
+        max_variants: int | None = None,
+    ) -> NaiveResult:
+        """Top-k by brute force over the whole relaxation space.
+
+        ``max_variants`` optionally caps the number of relaxed queries
+        evaluated (by descending weight) to keep the strawman tractable
+        on large spaces; ``None`` evaluates all of them, as §1 describes.
+        """
+        started = time.perf_counter()
+        variants = enumerate_space(query, self.rules, max_variants=max_variants)
+        projection = tuple(v.name for v in query.projection)
+        best: dict[tuple[tuple[str, str], ...], float] = {}
+        materialized = 0
+        for variant in variants:
+            slot_weights = tuple(
+                rule.weight if rule is not None else 1.0 for rule in variant.applied
+            )
+            for bindings, score in self._evaluate_slots(
+                variant.slot_patterns, slot_weights
+            ):
+                materialized += 1
+                projected = tuple(
+                    (name, bindings[name]) for name in sorted(projection)
+                    if name in bindings
+                )
+                current = best.get(projected)
+                if current is None or score > current:
+                    best[projected] = score
+        ranked = sorted(best.items(), key=lambda item: (-item[1], item[0]))[:k]
+        answers = tuple(Answer(bindings, score) for bindings, score in ranked)
+        return NaiveResult(
+            answers=answers,
+            execution_seconds=time.perf_counter() - started,
+            queries_evaluated=len(variants),
+            answers_materialized=materialized,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NaiveEngine(graph={self.graph.name!r}, rules={len(self.rules)})"

@@ -1,0 +1,27 @@
+"""Spec-QP core: the speculative planner and its execution engine (§3).
+
+* :class:`~repro.core.estimator.ExpectedScoreEstimator` — convolves the
+  per-pattern score histograms into a query-level distribution and reads
+  expected scores at ranks off it (§3.1).
+* :class:`~repro.core.planner.SpecQPPlanner` — PLANGEN (Algorithm 1).
+* :class:`~repro.core.plan.QueryPlan` — the partition {join group} ∪
+  singletons, plus operator-tree construction (§3.2.2).
+* :class:`~repro.core.executor.PlanExecutor` — runs a plan to top-k.
+* :class:`~repro.core.engine.SpecQPEngine` — the public facade.
+"""
+
+from repro.core.config import EngineConfig
+from repro.core.engine import QueryResult, SpecQPEngine
+from repro.core.estimator import ExpectedScoreEstimator
+from repro.core.plan import QueryPlan
+from repro.core.planner import PlannerDecision, SpecQPPlanner
+
+__all__ = [
+    "EngineConfig",
+    "ExpectedScoreEstimator",
+    "PlannerDecision",
+    "QueryPlan",
+    "QueryResult",
+    "SpecQPEngine",
+    "SpecQPPlanner",
+]

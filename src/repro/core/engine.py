@@ -1,0 +1,178 @@
+"""The public engine facade.
+
+:class:`SpecQPEngine` wires the statistics catalog, the estimator, PLANGEN
+and the executor together behind a two-call API::
+
+    engine = SpecQPEngine(graph, rules)
+    result = engine.query(query, k=10)
+
+It also exposes :meth:`query_trinit` (the non-speculative baseline run
+through the same operators) so experiments compare like with like.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.config import EngineConfig
+from repro.core.estimator import ExpectedScoreEstimator
+from repro.core.executor import ExecutionResult, PlanExecutor
+from repro.core.plan import QueryPlan
+from repro.core.planner import PlannerDecision, SpecQPPlanner
+from repro.kg.graph import KnowledgeGraph
+from repro.query.answer import Answer
+from repro.query.query import TriplePatternQuery
+from repro.query.sparql import parse_sparql
+from repro.relax.chains import ChainRuleSet
+from repro.relax.rules import RuleSet
+from repro.stats.catalog import StatisticsCatalog
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Everything one engine run produced.
+
+    ``planning_seconds`` is 0.0 for non-speculative plans (TriniT spends
+    no time planning); ``total_seconds`` is the paper's "time taken to
+    plan and execute each query".
+    """
+
+    answers: tuple[Answer, ...]
+    plan: QueryPlan
+    decision: PlannerDecision | None
+    planning_seconds: float
+    execution_seconds: float
+    answer_objects_created: int
+    tuples_pulled: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.planning_seconds + self.execution_seconds
+
+    @property
+    def scores(self) -> tuple[float, ...]:
+        return tuple(answer.score for answer in self.answers)
+
+    @property
+    def n_relaxed(self) -> int:
+        return self.plan.n_relaxed
+
+
+class SpecQPEngine:
+    """Speculative top-k query engine over a scored KG with relaxations.
+
+    Parameters
+    ----------
+    graph:
+        The knowledge graph.
+    rules:
+        The mined weighted relaxation rules.
+    config:
+        Engine knobs; ``EngineConfig()`` reproduces the paper's setup.
+    catalog:
+        Optionally share a prebuilt :class:`StatisticsCatalog` (e.g. one
+        warmed offline for a whole workload); by default the engine builds
+        its own from *config*.
+    chain_rules:
+        Optional chain relaxations (§6 future-work extension); processed
+        as extra Incremental Merge inputs whenever a pattern is relaxed.
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        rules: RuleSet,
+        config: EngineConfig | None = None,
+        catalog: StatisticsCatalog | None = None,
+        chain_rules: "ChainRuleSet | None" = None,
+    ) -> None:
+        self.config = config or EngineConfig()
+        self.graph = graph
+        self.rules = rules
+        self.catalog = catalog or StatisticsCatalog(
+            graph,
+            mass_fraction=self.config.mass_fraction,
+            histogram_kind=self.config.histogram_kind,  # type: ignore[arg-type]
+            n_buckets=self.config.n_buckets,
+            selectivity_mode=self.config.selectivity_mode,  # type: ignore[arg-type]
+        )
+        self.estimator = ExpectedScoreEstimator(self.catalog)
+        self.planner = SpecQPPlanner(
+            self.estimator,
+            rules,
+            relax_all_when_insufficient=self.config.relax_all_when_insufficient,
+        )
+        self.chain_rules = chain_rules
+        self.executor = PlanExecutor(
+            graph,
+            rules,
+            self.config.max_relaxations_per_pattern,
+            chain_rules=chain_rules,
+        )
+
+    # ------------------------------------------------------------------
+    def parse(self, text: str) -> TriplePatternQuery:
+        """Parse mini-SPARQL text (convenience passthrough)."""
+        return parse_sparql(text)
+
+    def plan(self, query: TriplePatternQuery, k: int | None = None) -> PlannerDecision:
+        """Run PLANGEN only (no execution)."""
+        return self.planner.plan(query, k or self.config.k)
+
+    def query(
+        self, query: TriplePatternQuery | str, k: int | None = None
+    ) -> QueryResult:
+        """Speculatively plan and execute *query*, returning top-k."""
+        if isinstance(query, str):
+            query = self.parse(query)
+        k = k or self.config.k
+        decision = self.planner.plan(query, k)
+        execution = self.executor.execute(decision.plan, k)
+        return self._result(decision.plan, decision, decision.planning_seconds, execution)
+
+    def query_trinit(
+        self, query: TriplePatternQuery | str, k: int | None = None
+    ) -> QueryResult:
+        """Run the TriniT baseline plan (all patterns relaxed; true top-k)."""
+        if isinstance(query, str):
+            query = self.parse(query)
+        k = k or self.config.k
+        plan = QueryPlan.trinit(query)
+        execution = self.executor.execute(plan, k)
+        return self._result(plan, None, 0.0, execution)
+
+    def query_exact(
+        self, query: TriplePatternQuery | str, k: int | None = None
+    ) -> QueryResult:
+        """Run without any relaxations (plain rank joins)."""
+        if isinstance(query, str):
+            query = self.parse(query)
+        k = k or self.config.k
+        plan = QueryPlan.exact(query)
+        execution = self.executor.execute(plan, k)
+        return self._result(plan, None, 0.0, execution)
+
+    # ------------------------------------------------------------------
+    def _result(
+        self,
+        plan: QueryPlan,
+        decision: PlannerDecision | None,
+        planning_seconds: float,
+        execution: ExecutionResult,
+    ) -> QueryResult:
+        return QueryResult(
+            answers=execution.answers,
+            plan=plan,
+            decision=decision,
+            planning_seconds=planning_seconds,
+            execution_seconds=execution.execution_seconds,
+            answer_objects_created=execution.answer_objects_created,
+            tuples_pulled=execution.tuples_pulled,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SpecQPEngine(graph={self.graph.name!r}, k={self.config.k}, "
+            f"rules={len(self.rules)})"
+        )

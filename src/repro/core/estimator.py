@@ -1,0 +1,153 @@
+"""The expected-score estimator (§3.1).
+
+Given the statistics catalog, the estimator builds the score distribution
+of a query's answers by repeatedly convolving per-pattern densities
+(§3.1.2) and refitting a two-bucket histogram after each step, then reads
+expected scores at ranks off the final distribution using the
+order-statistics rule (§3.1.3).
+
+Relaxations enter through :meth:`query_distribution`'s ``replace``
+argument: the planner substitutes one pattern's histogram with the
+top-weighted relaxation's histogram scaled by its weight (the relaxed
+scores are ``w · S(t|q')``, so the support contracts by ``w``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EstimationError
+from repro.kg.pattern import TriplePattern
+from repro.query.query import TriplePatternQuery
+from repro.stats.catalog import StatisticsCatalog
+from repro.stats.histogram import NBucketHistogram, TwoBucketHistogram
+from repro.stats.order_statistics import expected_kth_score, expected_top_score
+from repro.stats.piecewise import PiecewiseConstantDensity, convolve
+
+
+@dataclass(frozen=True)
+class QueryDistribution:
+    """The estimated score distribution of a query's answer set.
+
+    ``density`` is normalised (total mass 1); ``count`` is the estimated
+    number of answers.  ``count == 0`` means the estimator believes the
+    query has no answers at all, and every expected score is 0.
+    """
+
+    density: PiecewiseConstantDensity | None
+    count: int
+
+    def expected_score_at(self, rank: int) -> float:
+        """Expected score of the answer at *rank* (1 = best)."""
+        if self.count <= 0 or self.density is None:
+            return 0.0
+        return expected_kth_score(self.density, rank, self.count)
+
+    def expected_top(self) -> float:
+        if self.count <= 0 or self.density is None:
+            return 0.0
+        return expected_top_score(self.density, self.count)
+
+
+class ExpectedScoreEstimator:
+    """Builds query-level score distributions from catalog statistics."""
+
+    def __init__(self, catalog: StatisticsCatalog) -> None:
+        self._catalog = catalog
+
+    @property
+    def catalog(self) -> StatisticsCatalog:
+        return self._catalog
+
+    # ------------------------------------------------------------------
+    def pattern_histogram(
+        self, pattern: TriplePattern, weight: float = 1.0
+    ) -> TwoBucketHistogram | NBucketHistogram:
+        """The (possibly weight-scaled) histogram of one pattern."""
+        histogram = self._catalog.histogram(pattern)
+        if weight != 1.0:
+            histogram = histogram.scaled(weight)
+        return histogram
+
+    def query_distribution(
+        self,
+        query: TriplePatternQuery,
+        replace: dict[TriplePattern, tuple[TriplePattern, float]] | None = None,
+    ) -> QueryDistribution:
+        """Estimate the distribution of the answer scores of *query*.
+
+        ``replace`` maps an original pattern to ``(relaxed_pattern, w)``;
+        the relaxed pattern's histogram (scaled by ``w``) and match count
+        stand in for the original's, and the cardinality is computed for
+        the substituted query — this is how PLANGEN evaluates ``E_Q'(1)``.
+        """
+        replace = replace or {}
+        for original in replace:
+            if original not in query.patterns:
+                raise EstimationError(
+                    f"replacement target {original} not in query"
+                )
+
+        effective_patterns: list[TriplePattern] = []
+        histograms: list[TwoBucketHistogram | NBucketHistogram] = []
+        for pattern in query.patterns:
+            if pattern in replace:
+                relaxed, weight = replace[pattern]
+                effective_patterns.append(relaxed)
+                histograms.append(self.pattern_histogram(relaxed, weight))
+            else:
+                effective_patterns.append(pattern)
+                histograms.append(self.pattern_histogram(pattern))
+
+        if any(h.is_degenerate for h in histograms):
+            # Some pattern has no matches: the whole query is empty.
+            return QueryDistribution(density=None, count=0)
+
+        # Cardinality of each slot prefix.  Two slots may hold the same
+        # pattern (a relaxation may collide with another slot's pattern);
+        # duplicates do not change the answer set, so they are dropped for
+        # counting while still contributing their histogram to the sum.
+        prefix_counts: list[int] = []
+        for end in range(1, len(effective_patterns) + 1):
+            distinct: list[TriplePattern] = []
+            for candidate in effective_patterns[:end]:
+                if candidate not in distinct:
+                    distinct.append(candidate)
+            prefix_counts.append(
+                self._catalog.cardinalities.cardinality(
+                    TriplePatternQuery(tuple(distinct))
+                )
+            )
+        if prefix_counts[-1] <= 0:
+            return QueryDistribution(density=None, count=0)
+
+        current = histograms[0].to_density().normalized()
+        for histogram, count in zip(histograms[1:], prefix_counts[1:]):
+            convolved = convolve(current, histogram.to_density().normalized())
+            refit = TwoBucketHistogram.refit(
+                convolved,
+                count=max(count, 1),
+                mass_fraction=self._catalog.mass_fraction,
+            )
+            current = refit.to_density().normalized()
+        return QueryDistribution(density=current, count=prefix_counts[-1])
+
+    # ------------------------------------------------------------------
+    def expected_kth(self, query: TriplePatternQuery, k: int) -> float:
+        """``E_Q(k)``: expected k-th best answer score of *query*."""
+        if k < 1:
+            raise EstimationError(f"k must be >= 1, got {k}")
+        return self.query_distribution(query).expected_score_at(k)
+
+    def expected_top_of_relaxed(
+        self,
+        query: TriplePatternQuery,
+        pattern: TriplePattern,
+        relaxed: TriplePattern,
+        weight: float,
+    ) -> float:
+        """``E_Q'(1)`` where ``Q' = Q \\ {pattern} ∪ {relaxed}``."""
+        distribution = self.query_distribution(
+            query, replace={pattern: (relaxed, weight)}
+        )
+        return distribution.expected_top()

@@ -1,0 +1,197 @@
+"""Query plans (§3.2) and operator-tree construction (§3.2.2).
+
+A plan is a partition of the query's patterns into one *join group*
+(patterns whose relaxations were pruned) and *singletons* (patterns whose
+relaxations are kept).  Execution:
+
+1. the join group becomes left-deep rank joins over plain sorted scans;
+2. each singleton becomes an Incremental Merge over the pattern's scan
+   plus one weighted scan per relaxation;
+3. further left-deep rank joins combine the group with the singletons;
+4. a dedup Top-K sink materialises the answers.
+
+The TriniT baseline plan is the special case where *every* pattern is a
+singleton (§2.1, Figure 2), so both engines share this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pattern import TriplePattern
+from repro.operators.base import Operator
+from repro.operators.chain_scan import ChainScan
+from repro.operators.incremental_merge import IncrementalMerge, WeightedInput
+from repro.operators.memory import ExecutionContext
+from repro.operators.rank_join import RankJoin
+from repro.operators.scan import SortedScan
+from repro.query.query import TriplePatternQuery
+from repro.relax.chains import ChainRuleSet
+from repro.relax.rules import RuleSet
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A partition ``{join_group} ∪ singletons`` of a query's patterns.
+
+    ``join_group`` and ``singletons`` store indexes into
+    ``query.patterns``.  The paper's plan notation ``{{q1,q3},{q2}}`` maps
+    to ``join_group=(0, 2), singletons=(1,)``.
+    """
+
+    query: TriplePatternQuery
+    join_group: tuple[int, ...]
+    singletons: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        indexes = sorted(self.join_group) + sorted(self.singletons)
+        expected = list(range(len(self.query)))
+        if sorted(indexes) != expected:
+            raise PlanError(
+                f"plan is not a partition of the query: join_group="
+                f"{self.join_group}, singletons={self.singletons}, "
+                f"query has {len(self.query)} patterns"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def speculative(
+        cls, query: TriplePatternQuery, relaxed_indexes: tuple[int, ...]
+    ) -> "QueryPlan":
+        """Plan relaxing exactly *relaxed_indexes* (PLANGEN's output)."""
+        join_group = tuple(
+            i for i in range(len(query)) if i not in set(relaxed_indexes)
+        )
+        return cls(query, join_group, tuple(sorted(relaxed_indexes)))
+
+    @classmethod
+    def trinit(cls, query: TriplePatternQuery) -> "QueryPlan":
+        """The TriniT plan: all patterns are singletons (Figure 2)."""
+        return cls(query, (), tuple(range(len(query))))
+
+    @classmethod
+    def exact(cls, query: TriplePatternQuery) -> "QueryPlan":
+        """No relaxations anywhere: pure rank joins (the no-relaxation
+        fast path §3 opens with)."""
+        return cls(query, tuple(range(len(query))), ())
+
+    # ------------------------------------------------------------------
+    @property
+    def n_relaxed(self) -> int:
+        return len(self.singletons)
+
+    @property
+    def relaxed_patterns(self) -> tuple[TriplePattern, ...]:
+        return tuple(self.query.patterns[i] for i in self.singletons)
+
+    def describe(self) -> str:
+        """The paper's set notation, e.g. ``{{q1, q3}, {q2}}``."""
+        parts = []
+        if self.join_group:
+            parts.append(
+                "{" + ", ".join(f"q{i + 1}" for i in sorted(self.join_group)) + "}"
+            )
+        for index in self.singletons:
+            parts.append(f"{{q{index + 1}}}")
+        return "{" + ", ".join(parts) + "}"
+
+    # ------------------------------------------------------------------
+    # Operator-tree construction (§3.2.2)
+    # ------------------------------------------------------------------
+    def build_operator_tree(
+        self,
+        graph: KnowledgeGraph,
+        rules: RuleSet,
+        context: ExecutionContext,
+        max_relaxations_per_pattern: int | None = None,
+        chain_rules: ChainRuleSet | None = None,
+    ) -> Operator:
+        """Materialise the plan as a pull-based operator tree.
+
+        Join order is left-deep following pattern order, but join-group
+        patterns are joined first (they are the cheap, non-relaxed side),
+        then each singleton's Incremental Merge is joined in.  Within each
+        stage, variable-connected operands are preferred to avoid
+        accidental cartesian products.
+
+        ``chain_rules`` optionally adds chain relaxations (§6 future work)
+        as extra Incremental Merge inputs for relaxed patterns.
+        """
+        group_ops: list[Operator] = [
+            SortedScan(graph, self.query.patterns[i], i, context)
+            for i in sorted(self.join_group)
+        ]
+        merge_ops: list[Operator] = [
+            self._build_incremental_merge(
+                graph, rules, context, i, max_relaxations_per_pattern,
+                chain_rules,
+            )
+            for i in self.singletons
+        ]
+        operands = group_ops + merge_ops
+        if not operands:
+            raise PlanError("plan has no operands")
+        tree = operands.pop(0)
+        while operands:
+            pick = self._pick_connected(tree, operands)
+            tree = RankJoin(tree, operands.pop(pick), context)
+        return tree
+
+    def _pick_connected(self, tree: Operator, operands: list[Operator]) -> int:
+        """Index of the first operand sharing a variable with *tree*."""
+        tree_vars: set[str] = set()
+        for index in tree.patterns_covered:
+            tree_vars.update(self.query.patterns[index].variable_names)
+        for position, operand in enumerate(operands):
+            operand_vars: set[str] = set()
+            for index in operand.patterns_covered:
+                operand_vars.update(self.query.patterns[index].variable_names)
+            if tree_vars & operand_vars:
+                return position
+        return 0
+
+    def _build_incremental_merge(
+        self,
+        graph: KnowledgeGraph,
+        rules: RuleSet,
+        context: ExecutionContext,
+        pattern_index: int,
+        max_relaxations: int | None,
+        chain_rules: ChainRuleSet | None = None,
+    ) -> Operator:
+        pattern = self.query.patterns[pattern_index]
+        inputs = [
+            WeightedInput(
+                scan=SortedScan(graph, pattern, pattern_index, context),
+                weight=1.0,
+                label="original",
+            )
+        ]
+        applicable = rules.for_pattern(pattern)
+        if max_relaxations is not None:
+            applicable = applicable[:max_relaxations]
+        for rule in applicable:
+            inputs.append(
+                WeightedInput(
+                    scan=SortedScan(
+                        graph, rule.range, pattern_index, context, weight=rule.weight
+                    ),
+                    weight=rule.weight,
+                    label=str(rule.range),
+                )
+            )
+        if chain_rules is not None:
+            for chain_rule in chain_rules.for_pattern(pattern):
+                inputs.append(
+                    WeightedInput(
+                        scan=ChainScan(graph, chain_rule, pattern_index, context),
+                        weight=chain_rule.weight,
+                        label=str(chain_rule),
+                    )
+                )
+        return IncrementalMerge(inputs, context)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QueryPlan({self.describe()})"

@@ -1,0 +1,135 @@
+"""PLANGEN — the speculative query planner (Algorithm 1, §3.2.1).
+
+For each triple pattern ``q_i`` of the query, the planner tests whether
+the *top-weighted* relaxation of ``q_i`` could place an answer in the
+top-k: it compares the expected best score of the relaxed query,
+``E_Q'(1)``, against the expected k-th best score of the original query,
+``E_Q(k)``.  Only the top-weighted rule needs testing because per-list
+normalisation makes each relaxation's best achievable score equal its
+weight, so the top-weighted relaxation dominates all others for the
+pattern.
+
+Patterns whose test succeeds become singletons (their relaxations will be
+processed by Incremental Merge); the rest form the join group.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.estimator import ExpectedScoreEstimator
+from repro.core.plan import QueryPlan
+from repro.errors import PlanError
+from repro.kg.pattern import TriplePattern
+from repro.query.query import TriplePatternQuery
+from repro.query.rewrite import top_weighted_relaxation
+from repro.relax.rules import RelaxationRule, RuleSet
+
+
+@dataclass(frozen=True)
+class PatternDecision:
+    """Why one pattern was (not) marked for relaxation."""
+
+    pattern: TriplePattern
+    pattern_index: int
+    tested_rule: RelaxationRule | None
+    expected_relaxed_top: float
+    relax: bool
+
+
+@dataclass(frozen=True)
+class PlannerDecision:
+    """The full outcome of one PLANGEN run, for reports and debugging."""
+
+    plan: QueryPlan
+    expected_kth_original: float
+    per_pattern: tuple[PatternDecision, ...]
+    planning_seconds: float
+
+    @property
+    def relaxed_indexes(self) -> tuple[int, ...]:
+        return self.plan.singletons
+
+
+class SpecQPPlanner:
+    """Algorithm 1 (PLANGEN) over an expected-score estimator.
+
+    ``relax_all_when_insufficient`` enables an extension beyond the paper:
+    Algorithm 1 tests one relaxation at a time, so when the true top-k is
+    only reachable through *simultaneous* relaxations of several patterns
+    (every single-relaxed query is empty), it prunes everything.  The
+    extension keeps every relaxable pattern whenever the original query
+    cannot fill the top-k at all (``E_Q(k) == 0``).
+    """
+
+    def __init__(
+        self,
+        estimator: ExpectedScoreEstimator,
+        rules: RuleSet,
+        relax_all_when_insufficient: bool = False,
+    ) -> None:
+        self._estimator = estimator
+        self._rules = rules
+        self._relax_all_when_insufficient = relax_all_when_insufficient
+
+    @property
+    def estimator(self) -> ExpectedScoreEstimator:
+        return self._estimator
+
+    def plan(self, query: TriplePatternQuery, k: int) -> PlannerDecision:
+        """Generate the speculative plan for *query* at the given *k*.
+
+        A pattern with no applicable relaxation rules can never be a
+        singleton (there is nothing to merge), matching the paper's
+        Twitter observation that predicates without relaxations stay
+        unrelaxed by construction.
+        """
+        if k < 1:
+            raise PlanError(f"k must be >= 1, got {k}")
+        started = time.perf_counter()
+
+        expected_kth = self._estimator.expected_kth(query, k)
+        force_relax_all = (
+            self._relax_all_when_insufficient and expected_kth <= 0.0
+        )
+
+        decisions: list[PatternDecision] = []
+        relaxed_indexes: list[int] = []
+        for index, pattern in enumerate(query.patterns):
+            rule = top_weighted_relaxation(query, pattern, self._rules)
+            if rule is None:
+                decisions.append(
+                    PatternDecision(
+                        pattern=pattern,
+                        pattern_index=index,
+                        tested_rule=None,
+                        expected_relaxed_top=0.0,
+                        relax=False,
+                    )
+                )
+                continue
+            expected_top = self._estimator.expected_top_of_relaxed(
+                query, pattern, rule.range, rule.weight
+            )
+            relax = expected_top > expected_kth or force_relax_all
+            if relax:
+                relaxed_indexes.append(index)
+            decisions.append(
+                PatternDecision(
+                    pattern=pattern,
+                    pattern_index=index,
+                    tested_rule=rule,
+                    expected_relaxed_top=expected_top,
+                    relax=relax,
+                )
+            )
+
+        plan = QueryPlan.speculative(query, tuple(relaxed_indexes))
+        elapsed = time.perf_counter() - started
+        return PlannerDecision(
+            plan=plan,
+            expected_kth_original=expected_kth,
+            per_pattern=tuple(decisions),
+            planning_seconds=elapsed,
+        )

@@ -1,0 +1,24 @@
+"""Synthetic dataset substrate (the §4.2 substitution).
+
+The paper evaluates on two proprietary/at-scale corpora; we generate
+synthetic stand-ins that preserve the properties Spec-QP's behaviour
+depends on — power-law score distributions, rich mined relaxation spaces,
+and (for Twitter) the sparse-match regime where every pattern needs
+relaxing.  See DESIGN.md §3 for the substitution rationale.
+
+* :func:`~repro.datasets.xkg.generate_xkg` — XKG-like KG + 65-query workload.
+* :func:`~repro.datasets.twitter.generate_twitter` — tweet KG + 50 queries.
+* :class:`~repro.datasets.workload.Workload` — the bundle experiments run.
+"""
+
+from repro.datasets.twitter import TwitterConfig, generate_twitter
+from repro.datasets.workload import Workload
+from repro.datasets.xkg import XKGConfig, generate_xkg
+
+__all__ = [
+    "TwitterConfig",
+    "Workload",
+    "XKGConfig",
+    "generate_twitter",
+    "generate_xkg",
+]

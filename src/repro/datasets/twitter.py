@@ -1,0 +1,205 @@
+"""Synthetic Twitter-like dataset and workload (§4.2's second dataset).
+
+The paper's corpus — 18M ``⟨tID, hasTag, term⟩`` triples from 30 days of
+the Streaming API — cannot be redistributed; this generator reproduces its
+structural regime:
+
+* tweets draw their terms from latent *trends* (topics), so term
+  co-occurrence is strong within a trend and weak across trends — the
+  signal the ``w = #tweets(T1∧T2)/#tweets(T1)`` relaxation scheme mines;
+* every triple of a tweet carries the tweet's retweet count as its score,
+  and retweet counts are Zipf-distributed;
+* queries combine 2–3 frequent terms, each with ≥5 mined relaxations;
+  because individual terms match few tweets and conjunctions are sparse,
+  most queries cannot fill a top-k from exact matches alone — the
+  "all patterns need relaxing" regime of §4.5.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.synthetic import (
+    make_rng,
+    name_series,
+    weighted_sample_without_replacement,
+    zipf_rank_weights,
+    zipf_scores,
+)
+from repro.datasets.workload import Workload
+from repro.errors import DatasetError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pattern import TriplePattern, Variable
+from repro.query.query import TriplePatternQuery
+from repro.relax.cooccurrence import CooccurrenceIndex, mine_cooccurrence_rules
+from repro.relax.rules import RuleSet
+
+#: The single predicate of the Twitter dataset.
+HAS_TAG = "hasTag"
+
+
+@dataclass(frozen=True)
+class TwitterConfig:
+    """Generation knobs for the synthetic tweet corpus."""
+
+    n_tweets: int = 6000
+    n_trends: int = 25
+    vocabulary_per_trend: int = 30
+    terms_per_tweet_min: int = 3
+    terms_per_tweet_max: int = 8
+    n_queries: int = 50
+    retweet_alpha: float = 1.1
+    min_relaxations: int = 5
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.terms_per_tweet_min < 2:
+            raise DatasetError("tweets need >= 2 terms for co-occurrence")
+        if self.terms_per_tweet_max < self.terms_per_tweet_min:
+            raise DatasetError("terms_per_tweet_max < terms_per_tweet_min")
+        if self.n_queries < 1:
+            raise DatasetError("n_queries must be >= 1")
+
+
+def _trend_vocabularies(config: TwitterConfig) -> list[list[str]]:
+    """Each trend owns a hashtag block plus a few shared plain terms."""
+    vocabularies: list[list[str]] = []
+    for trend in range(config.n_trends):
+        tags = [
+            f"#trend{trend:02d}_tag{j:02d}"
+            for j in range(config.vocabulary_per_trend)
+        ]
+        vocabularies.append(tags)
+    return vocabularies
+
+
+def _generate_tweets(
+    rng: np.random.Generator, config: TwitterConfig
+) -> dict[str, list[str]]:
+    """tweet id -> term list, with trend-driven co-occurrence."""
+    vocabularies = _trend_vocabularies(config)
+    trend_weights = zipf_rank_weights(config.n_trends, exponent=0.9)
+    tweets: dict[str, list[str]] = {}
+    for tweet_id in name_series("t", config.n_tweets, width=6):
+        trend_index = int(rng.choice(config.n_trends, p=trend_weights))
+        vocabulary = vocabularies[trend_index]
+        term_weights = zipf_rank_weights(len(vocabulary), exponent=1.0)
+        n_terms = int(
+            rng.integers(config.terms_per_tweet_min, config.terms_per_tweet_max + 1)
+        )
+        terms = weighted_sample_without_replacement(
+            rng, vocabulary, term_weights, n_terms
+        )
+        # Occasional cross-trend term: weak long-range co-occurrence.
+        if rng.random() < 0.15:
+            other = vocabularies[int(rng.choice(config.n_trends))]
+            terms.append(other[int(rng.integers(len(other)))])
+        tweets[tweet_id] = sorted(set(terms))
+    return tweets
+
+
+def _build_graph(
+    rng: np.random.Generator,
+    config: TwitterConfig,
+    tweets: dict[str, list[str]],
+) -> KnowledgeGraph:
+    graph = KnowledgeGraph(name="twitter")
+    retweets = zipf_scores(rng, len(tweets), alpha=config.retweet_alpha)
+    for (tweet_id, terms), retweet_count in zip(tweets.items(), retweets):
+        for term in terms:
+            # Every triple of a tweet shares the tweet's retweet count.
+            graph.add(tweet_id, HAS_TAG, term, score=float(retweet_count))
+    return graph
+
+
+def _build_queries(
+    rng: np.random.Generator,
+    config: TwitterConfig,
+    tweets: dict[str, list[str]],
+    rules: RuleSet,
+) -> list[TriplePatternQuery]:
+    """50 queries of 2–3 terms, non-empty, relaxation-rich.
+
+    Terms are taken from actual tweets (so the conjunction has at least
+    one exact answer) and, mirroring §4.2's "combinations of most
+    frequent tags and terms", selection within a tweet is biased towards
+    the corpus-frequent terms.  Terms are filtered to those with
+    ≥ ``min_relaxations`` mined rules.
+    """
+    variable = Variable("s")
+    eligible: set[str] = set()
+    for key in rules.domains():
+        _, pred, obj = key
+        if pred == HAS_TAG and obj is not None:
+            pattern = TriplePattern(variable, HAS_TAG, obj)
+            if rules.n_rules_for(pattern) >= config.min_relaxations:
+                eligible.add(obj)
+
+    term_frequency: dict[str, int] = {}
+    for terms in tweets.values():
+        for term in terms:
+            term_frequency[term] = term_frequency.get(term, 0) + 1
+
+    half = config.n_queries // 2
+    sizes = [2] * half + [3] * (config.n_queries - half)
+    tweet_ids = sorted(tweets)
+    order = list(rng.permutation(len(tweet_ids)))
+
+    queries: list[TriplePatternQuery] = []
+    seen: set[frozenset[str]] = set()
+    position = 0
+    attempts = 0
+    for size in sizes:
+        built = False
+        while not built:
+            attempts += 1
+            if attempts > 100 * config.n_queries:
+                raise DatasetError(
+                    "could not build enough distinct Twitter queries; "
+                    "increase corpus size or lower min_relaxations"
+                )
+            tweet_id = tweet_ids[order[position % len(tweet_ids)]]
+            position += 1
+            usable = [t for t in tweets[tweet_id] if t in eligible]
+            if len(usable) < size:
+                continue
+            # "Most frequent tags and terms": keep the tweet's most
+            # frequent eligible terms, with one random slot for variety.
+            usable.sort(key=lambda t: (-term_frequency.get(t, 0), t))
+            pool = usable[: size + 2]
+            chosen_indexes = rng.choice(len(pool), size=size, replace=False)
+            terms = sorted(pool[i] for i in chosen_indexes)
+            key = frozenset(terms)
+            if key in seen:
+                continue
+            seen.add(key)
+            patterns = tuple(
+                TriplePattern(variable, HAS_TAG, term) for term in terms
+            )
+            queries.append(
+                TriplePatternQuery(
+                    patterns,
+                    projection=(variable,),
+                    name=f"twitter-q{len(queries):03d}",
+                )
+            )
+            built = True
+    return queries
+
+
+def generate_twitter(config: TwitterConfig | None = None) -> Workload:
+    """Generate the Twitter-like workload: KG, mined rules, 50 queries."""
+    config = config or TwitterConfig()
+    rng = make_rng(config.seed)
+    tweets = _generate_tweets(rng, config)
+    graph = _build_graph(rng, config, tweets)
+    rules = mine_cooccurrence_rules(
+        graph,
+        HAS_TAG,
+        min_weight=0.03,
+        max_rules_per_item=max(config.min_relaxations + 5, 10),
+    )
+    queries = _build_queries(rng, config, tweets, rules)
+    return Workload(name="twitter", graph=graph, rules=rules, queries=queries)

@@ -1,0 +1,83 @@
+"""The workload bundle experiments run against.
+
+A :class:`Workload` packages a generated KG, its mined relaxation rules
+and a named query set, plus light self-validation mirroring the paper's
+workload constraints (non-empty result sets, minimum relaxations per
+pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DatasetError
+from repro.kg.graph import KnowledgeGraph
+from repro.query.query import TriplePatternQuery
+from repro.relax.rules import RuleSet
+
+
+@dataclass
+class Workload:
+    """A dataset + rule set + query set, ready for the harness."""
+
+    name: str
+    graph: KnowledgeGraph
+    rules: RuleSet
+    queries: list[TriplePatternQuery] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.queries:
+            raise DatasetError(f"workload {self.name!r} has no queries")
+        names = [q.name for q in self.queries]
+        if len(set(names)) != len(names):
+            raise DatasetError(f"workload {self.name!r} has duplicate query names")
+
+    # ------------------------------------------------------------------
+    def queries_by_size(self) -> dict[int, list[TriplePatternQuery]]:
+        """Group queries by number of triple patterns (the figures' x-axis)."""
+        grouped: dict[int, list[TriplePatternQuery]] = {}
+        for query in self.queries:
+            grouped.setdefault(len(query), []).append(query)
+        return dict(sorted(grouped.items()))
+
+    def validate(
+        self,
+        min_relaxations_per_pattern: int = 0,
+        require_nonempty: bool = False,
+    ) -> list[str]:
+        """Check the paper's workload constraints; returns violations
+        (empty list = all good)."""
+        problems: list[str] = []
+        for query in self.queries:
+            for pattern in query.patterns:
+                n_rules = self.rules.n_rules_for(pattern)
+                if n_rules < min_relaxations_per_pattern:
+                    problems.append(
+                        f"{query.name}: pattern '{pattern}' has {n_rules} "
+                        f"relaxations (< {min_relaxations_per_pattern})"
+                    )
+            if require_nonempty:
+                if any(
+                    self.graph.match_list(pattern).is_empty
+                    for pattern in query.patterns
+                ):
+                    problems.append(
+                        f"{query.name}: some pattern has an empty match list"
+                    )
+        return problems
+
+    def summary(self) -> dict[str, object]:
+        sizes = {size: len(qs) for size, qs in self.queries_by_size().items()}
+        return {
+            "name": self.name,
+            "triples": self.graph.size,
+            "rules": len(self.rules),
+            "queries": len(self.queries),
+            "queries_by_size": sizes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Workload({self.name!r}, triples={self.graph.size}, "
+            f"queries={len(self.queries)}, rules={len(self.rules)})"
+        )

@@ -1,0 +1,267 @@
+"""Synthetic XKG-like dataset and workload (§4.2's first dataset).
+
+The real XKG (YAGO2s + OpenIE textual triples, ~105M triples) is not
+redistributable; this generator produces a KG with the properties Spec-QP
+exercises:
+
+* **entity types in overlapping clusters** — each "domain" (music, film,
+  sport, …) carries a family of related types (``singer``, ``vocalist``,
+  ``musician``, …) with heavy instance overlap, so the instance-overlap
+  miner recovers ≥10 weighted relaxations per query type, mirroring
+  Table 1;
+* **topic predicates** — a second relaxable pattern family
+  (``?s xkg:hasTopic t``) with its own co-occurrence structure, standing
+  in for XKG's textual-token triples;
+* **power-law scores** — triple scores are Zipf counts, matching the
+  inlink/occurrence-count scoring and producing the 80/20 shape the
+  two-bucket histogram assumes;
+* **65 manually-shaped queries** with 2–4 triple patterns each, all with
+  non-empty result sets, built from actually co-typed entities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.synthetic import (
+    make_rng,
+    name_series,
+    weighted_sample_without_replacement,
+    zipf_rank_weights,
+    zipf_scores,
+)
+from repro.datasets.workload import Workload
+from repro.errors import DatasetError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.namespace import RDF_TYPE
+from repro.kg.pattern import TriplePattern, Variable
+from repro.query.query import TriplePatternQuery
+from repro.relax.mining import mine_object_relaxations
+from repro.relax.rules import RuleSet
+
+#: The topic predicate standing in for XKG's textual triples.
+HAS_TOPIC = "xkg:hasTopic"
+
+
+@dataclass(frozen=True)
+class XKGConfig:
+    """Generation knobs (defaults give a laptop-scale but non-trivial KG)."""
+
+    n_domains: int = 8
+    types_per_domain: int = 14
+    n_entities: int = 2500
+    types_per_entity: int = 5
+    n_topics: int = 120
+    topics_per_entity: int = 6
+    n_queries: int = 65
+    score_alpha: float = 1.1
+    min_relaxations: int = 10
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.types_per_domain < self.min_relaxations + 1:
+            raise DatasetError(
+                "types_per_domain must exceed min_relaxations so every "
+                "type can have enough relaxation candidates"
+            )
+        if self.n_queries < 1:
+            raise DatasetError("n_queries must be >= 1")
+
+
+def _make_type_families(config: XKGConfig) -> list[list[str]]:
+    """One list of related type names per domain."""
+    domains = name_series("domain", config.n_domains)
+    return [
+        [f"{domain}_type{j:02d}" for j in range(config.types_per_domain)]
+        for domain in domains
+    ]
+
+
+def _assign_types(
+    rng: np.random.Generator,
+    config: XKGConfig,
+    families: list[list[str]],
+    entities: list[str],
+) -> dict[str, list[str]]:
+    """Give each entity a handful of types from (mostly) one domain.
+
+    Drawing an entity's types from a single family with Zipf-weighted
+    popularity creates exactly the overlap structure the miner needs:
+    popular types inside a family share many instances (high relaxation
+    weights), unpopular ones share few (low weights).
+    """
+    types_of: dict[str, list[str]] = {}
+    family_weights = zipf_rank_weights(len(families), exponent=0.8)
+    for entity in entities:
+        family_index = int(rng.choice(len(families), p=family_weights))
+        family = families[family_index]
+        type_weights = zipf_rank_weights(len(family), exponent=1.0)
+        n_types = int(rng.integers(2, config.types_per_entity + 1))
+        chosen = weighted_sample_without_replacement(
+            rng, family, type_weights, n_types
+        )
+        # A small chance of one cross-domain type keeps the miner honest
+        # (overlap across families exists but is weak).
+        if rng.random() < 0.1:
+            other_index = int(rng.choice(len(families)))
+            other_family = families[other_index]
+            chosen.append(other_family[int(rng.integers(len(other_family)))])
+        types_of[entity] = sorted(set(chosen))
+    return types_of
+
+
+def _assign_topics(
+    rng: np.random.Generator,
+    config: XKGConfig,
+    entities: list[str],
+) -> dict[str, list[str]]:
+    """Topics cluster as well: each entity draws from a topic block."""
+    topics = name_series("topic", config.n_topics)
+    block_size = max(config.n_topics // 10, config.topics_per_entity + 2)
+    topics_of: dict[str, list[str]] = {}
+    for entity in entities:
+        block_start = int(rng.integers(0, max(config.n_topics - block_size, 1)))
+        block = topics[block_start:block_start + block_size]
+        weights = zipf_rank_weights(len(block), exponent=0.9)
+        n_topics = int(rng.integers(2, config.topics_per_entity + 1))
+        topics_of[entity] = sorted(
+            set(weighted_sample_without_replacement(rng, block, weights, n_topics))
+        )
+    return topics_of
+
+
+def _build_graph(
+    rng: np.random.Generator,
+    config: XKGConfig,
+    types_of: dict[str, list[str]],
+    topics_of: dict[str, list[str]],
+) -> KnowledgeGraph:
+    graph = KnowledgeGraph(name="xkg")
+    rows: list[tuple[str, str, str]] = []
+    for entity, type_names in types_of.items():
+        for type_name in type_names:
+            rows.append((entity, RDF_TYPE, type_name))
+    for entity, topic_names in topics_of.items():
+        for topic in topic_names:
+            rows.append((entity, HAS_TOPIC, topic))
+    scores = zipf_scores(rng, len(rows), alpha=config.score_alpha)
+    for (s, p, o), score in zip(rows, scores):
+        graph.add(s, p, o, score=float(score))
+    return graph
+
+
+def _eligible_constants(
+    rules: RuleSet, predicate: str, min_relaxations: int
+) -> list[str]:
+    """Object constants of *predicate* with enough mined relaxations."""
+    eligible: list[str] = []
+    for key in rules.domains():
+        _, pred, obj = key
+        if pred == predicate and obj is not None:
+            pattern = TriplePattern(Variable("s"), predicate, obj)
+            if rules.n_rules_for(pattern) >= min_relaxations:
+                eligible.append(obj)
+    return eligible
+
+
+def _build_queries(
+    rng: np.random.Generator,
+    config: XKGConfig,
+    graph: KnowledgeGraph,
+    rules: RuleSet,
+    types_of: dict[str, list[str]],
+    topics_of: dict[str, list[str]],
+) -> list[TriplePatternQuery]:
+    """65 queries with 2–4 patterns, non-empty by construction.
+
+    Each query is seeded from a real entity: its patterns are drawn from
+    that entity's own types and topics (so the original query has at
+    least one answer), restricted to constants with enough relaxations.
+    """
+    eligible_types = set(_eligible_constants(rules, RDF_TYPE, config.min_relaxations))
+    eligible_topics = set(_eligible_constants(rules, HAS_TOPIC, config.min_relaxations))
+    variable = Variable("s")
+    entities = sorted(types_of)
+
+    # Paper's mix: 2-, 3- and 4-pattern queries.  Split 65 ≈ 20/25/20.
+    thirds = config.n_queries // 3
+    sizes = (
+        [2] * thirds
+        + [3] * (config.n_queries - 2 * thirds)
+        + [4] * thirds
+    )
+
+    queries: list[TriplePatternQuery] = []
+    seen: set[frozenset[TriplePattern]] = set()
+    attempts = 0
+    entity_order = list(rng.permutation(len(entities)))
+    position = 0
+    for size in sizes:
+        built = False
+        while not built:
+            attempts += 1
+            if attempts > 50 * config.n_queries:
+                raise DatasetError(
+                    "could not build enough distinct queries; increase "
+                    "entity count or lower min_relaxations"
+                )
+            entity = entities[entity_order[position % len(entities)]]
+            position += 1
+            usable_types = [
+                t for t in types_of[entity] if t in eligible_types
+            ]
+            usable_topics = [
+                t for t in topics_of.get(entity, []) if t in eligible_topics
+            ]
+            candidates = [
+                TriplePattern(variable, RDF_TYPE, t) for t in usable_types
+            ] + [
+                TriplePattern(variable, HAS_TOPIC, t) for t in usable_topics
+            ]
+            if len(candidates) < size:
+                continue
+            chosen_indexes = rng.choice(len(candidates), size=size, replace=False)
+            patterns = tuple(candidates[i] for i in sorted(chosen_indexes))
+            key = frozenset(patterns)
+            if key in seen:
+                continue
+            seen.add(key)
+            queries.append(
+                TriplePatternQuery(
+                    patterns,
+                    projection=(variable,),
+                    name=f"xkg-q{len(queries):03d}",
+                )
+            )
+            built = True
+    return queries
+
+
+def generate_xkg(config: XKGConfig | None = None) -> Workload:
+    """Generate the XKG-like workload: KG, mined rules and 65 queries."""
+    config = config or XKGConfig()
+    rng = make_rng(config.seed)
+    families = _make_type_families(config)
+    entities = name_series("entity", config.n_entities)
+    types_of = _assign_types(rng, config, families, entities)
+    topics_of = _assign_topics(rng, config, entities)
+    graph = _build_graph(rng, config, types_of, topics_of)
+
+    type_rules = mine_object_relaxations(
+        graph,
+        RDF_TYPE,
+        min_weight=0.02,
+        max_rules_per_constant=max(config.min_relaxations + 5, 15),
+    )
+    topic_rules = mine_object_relaxations(
+        graph,
+        HAS_TOPIC,
+        min_weight=0.02,
+        max_rules_per_constant=max(config.min_relaxations + 5, 15),
+    )
+    rules = type_rules.merged_with(topic_rules)
+
+    queries = _build_queries(rng, config, graph, rules, types_of, topics_of)
+    return Workload(name="xkg", graph=graph, rules=rules, queries=queries)

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the Spec-QP reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch the whole family with one ``except`` clause while the
+library still reports precise failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class KnowledgeGraphError(ReproError):
+    """A problem with the knowledge-graph substrate (bad triple, bad score)."""
+
+
+class PatternError(ReproError):
+    """A triple pattern is malformed (e.g. no variables and no constants)."""
+
+
+class QueryError(ReproError):
+    """A triple-pattern query is malformed (empty, disconnected, unbound)."""
+
+
+class SparqlSyntaxError(QueryError):
+    """The mini-SPARQL parser rejected the query text."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class RelaxationError(ReproError):
+    """A relaxation rule is invalid or cannot be applied to a query."""
+
+
+class StatisticsError(ReproError):
+    """Statistics catalog problems: missing stats, invalid histogram."""
+
+
+class HistogramError(StatisticsError):
+    """A histogram was constructed with inconsistent buckets or masses."""
+
+
+class EstimationError(StatisticsError):
+    """The expected-score estimator received inconsistent inputs."""
+
+
+class PlanError(ReproError):
+    """A query plan is structurally invalid (not a partition of the query)."""
+
+
+class ExecutionError(ReproError):
+    """An operator tree failed during evaluation."""
+
+
+class DatasetError(ReproError):
+    """Synthetic dataset generation failed or produced an invalid workload."""
+
+
+class ExperimentError(ReproError):
+    """The experiment harness was configured inconsistently."""

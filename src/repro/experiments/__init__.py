@@ -1,0 +1,26 @@
+"""Experiment harness: one runner per table/figure of §4.
+
+:class:`~repro.experiments.session.ExperimentSession` evaluates a
+workload once per ``k`` under both engines (paper timing protocol) and
+caches per-query records; the table/figure modules aggregate those
+records into the paper's exact groupings.
+"""
+
+from repro.experiments.session import ExperimentSession, QueryRecord
+from repro.experiments.table2 import table2_precision
+from repro.experiments.table3 import table3_prediction_accuracy
+from repro.experiments.table4 import table4_score_error
+from repro.experiments.figures import (
+    figure_efficiency_by_patterns,
+    figure_efficiency_by_relaxed,
+)
+
+__all__ = [
+    "ExperimentSession",
+    "QueryRecord",
+    "figure_efficiency_by_patterns",
+    "figure_efficiency_by_relaxed",
+    "table2_precision",
+    "table3_prediction_accuracy",
+    "table4_score_error",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.experiments`` — delegate to the CLI."""
+
+import sys
+
+from repro.experiments.cli import main
+
+sys.exit(main())

@@ -1,0 +1,148 @@
+"""Command-line entry point: ``spec-qp`` / ``python -m repro.experiments``.
+
+Examples::
+
+    spec-qp table2 --dataset xkg
+    spec-qp all --dataset twitter --scale small
+    spec-qp fig7 --dataset xkg --ks 10 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.datasets import (
+    TwitterConfig,
+    Workload,
+    XKGConfig,
+    generate_twitter,
+    generate_xkg,
+)
+from repro.errors import ExperimentError
+from repro.experiments import table2, table3, table4
+from repro.experiments.figures import render as render_figure
+from repro.experiments.session import ExperimentSession
+from repro.metrics.efficiency import TimingProtocol
+
+EXPERIMENTS = ("table2", "table3", "table4", "fig6", "fig7", "fig8", "fig9", "all")
+
+#: Scales for quick runs vs full reproduction.
+SCALES = {
+    "small": dict(
+        xkg=XKGConfig(n_entities=800, n_queries=24, n_topics=60),
+        twitter=TwitterConfig(n_tweets=1500, n_queries=20),
+    ),
+    "default": dict(xkg=XKGConfig(), twitter=TwitterConfig()),
+    "large": dict(
+        xkg=XKGConfig(n_entities=8000, n_topics=300),
+        twitter=TwitterConfig(n_tweets=20000, n_trends=50),
+    ),
+}
+
+
+def build_workload(dataset: str, scale: str, seed: int | None) -> Workload:
+    configs = SCALES.get(scale)
+    if configs is None:
+        raise ExperimentError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
+    if dataset == "xkg":
+        config = configs["xkg"]
+        if seed is not None:
+            config = XKGConfig(**{**config.__dict__, "seed": seed})
+        return generate_xkg(config)  # type: ignore[arg-type]
+    if dataset == "twitter":
+        config = configs["twitter"]
+        if seed is not None:
+            config = TwitterConfig(**{**config.__dict__, "seed": seed})
+        return generate_twitter(config)  # type: ignore[arg-type]
+    raise ExperimentError(f"unknown dataset {dataset!r}; choose 'xkg' or 'twitter'")
+
+
+def _figures_for(dataset: str) -> dict[str, tuple[str, str]]:
+    """experiment name -> (axis, figure label) valid for *dataset*."""
+    if dataset == "xkg":
+        return {"fig6": ("patterns", "Figure 6"), "fig7": ("relaxed", "Figure 7")}
+    return {"fig8": ("patterns", "Figure 8"), "fig9": ("relaxed", "Figure 9")}
+
+
+def run_experiment(
+    name: str, session: ExperimentSession, chart: bool = False
+) -> str:
+    dataset = session.workload.name
+    figures = _figures_for(dataset)
+    if name == "table2":
+        return table2.render(session)
+    if name == "table3":
+        return table3.render(session)
+    if name == "table4":
+        return table4.render(session)
+    if name in figures:
+        axis, label = figures[name]
+        text = render_figure(session, axis, label)  # type: ignore[arg-type]
+        if chart:
+            from repro.experiments.figures import _figure
+            from repro.experiments.plotting import render_chart
+
+            groups = _figure(session, axis)  # type: ignore[arg-type]
+            text += "\n\n" + render_chart(
+                groups, "runtime", f"{label} — runtimes"
+            )
+            text += "\n\n" + render_chart(
+                groups, "memory", f"{label} — answer objects"
+            )
+        return text
+    if name in ("fig6", "fig7", "fig8", "fig9"):
+        raise ExperimentError(
+            f"{name} is reported on the "
+            f"{'XKG' if name in ('fig6', 'fig7') else 'Twitter'} dataset; "
+            f"current dataset is {dataset!r}"
+        )
+    raise ExperimentError(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="spec-qp",
+        description="Reproduce Spec-QP's tables and figures on synthetic workloads.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument("--dataset", choices=("xkg", "twitter"), default="xkg")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="default")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--ks", type=int, nargs="+", default=[10, 15, 20], metavar="K"
+    )
+    parser.add_argument(
+        "--runs", type=int, default=5,
+        help="timing runs per query (paper: 5, average of last 3)",
+    )
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="append ASCII bar charts to figure outputs",
+    )
+    args = parser.parse_args(argv)
+
+    workload = build_workload(args.dataset, args.scale, args.seed)
+    # Paper protocol: discard warm-up runs.  Keep the last 3 runs when
+    # possible, and never keep the cold first run unless it is the only one.
+    n_keep = min(3, max(args.runs - 2, 1))
+    protocol = TimingProtocol(n_runs=args.runs, n_keep=n_keep)
+    session = ExperimentSession(
+        workload, ks=tuple(args.ks), protocol=protocol
+    )
+
+    if args.experiment == "all":
+        names = ["table2", "table3", "table4", *sorted(_figures_for(args.dataset))]
+    else:
+        names = [args.experiment]
+
+    print(f"# workload: {workload.summary()}")
+    for name in names:
+        print()
+        print(run_experiment(name, session, chart=args.chart))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

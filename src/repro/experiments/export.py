@@ -1,0 +1,134 @@
+"""Machine-readable export of experiment records.
+
+The table/figure renderers print paper-shaped text; this module dumps the
+underlying per-query records as CSV or JSON so downstream analysis
+(pandas, spreadsheets, plotting) can consume a session without re-running
+the engines.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.session import ExperimentSession, QueryRecord
+
+#: Column order for the flat record table.
+FIELDS = (
+    "dataset",
+    "query_name",
+    "k",
+    "n_patterns",
+    "n_relaxed_by_spec",
+    "n_required_relaxations",
+    "prediction_correct",
+    "precision",
+    "score_error_mean",
+    "score_error_std",
+    "score_error_percent",
+    "spec_plan",
+    "spec_planning_seconds",
+    "spec_total_seconds",
+    "spec_answer_objects",
+    "trinit_total_seconds",
+    "trinit_answer_objects",
+    "n_spec_answers",
+    "n_trinit_answers",
+)
+
+
+def record_to_row(record: QueryRecord) -> dict[str, object]:
+    """Flatten one :class:`QueryRecord` into a plain dict."""
+    return {
+        "dataset": record.dataset,
+        "query_name": record.query_name,
+        "k": record.k,
+        "n_patterns": record.n_patterns,
+        "n_relaxed_by_spec": record.n_relaxed_by_spec,
+        "n_required_relaxations": record.n_required_relaxations,
+        "prediction_correct": record.prediction_correct,
+        "precision": record.precision,
+        "score_error_mean": record.error.mean,
+        "score_error_std": record.error.std,
+        "score_error_percent": record.error.percent,
+        "spec_plan": record.spec_plan,
+        "spec_planning_seconds": record.spec_planning_seconds,
+        "spec_total_seconds": record.spec_total_seconds,
+        "spec_answer_objects": record.spec_answer_objects,
+        "trinit_total_seconds": record.trinit_total_seconds,
+        "trinit_answer_objects": record.trinit_answer_objects,
+        "n_spec_answers": len(record.spec_answers),
+        "n_trinit_answers": len(record.trinit_answers),
+    }
+
+
+def _rows_of(
+    session: ExperimentSession, ks: Sequence[int] | None = None
+) -> list[dict[str, object]]:
+    selected = tuple(ks) if ks is not None else session.ks
+    unknown = [k for k in selected if k not in session.ks]
+    if unknown:
+        raise ExperimentError(
+            f"ks {unknown} not in session sweep {session.ks}"
+        )
+    return [
+        record_to_row(record)
+        for k in selected
+        for record in session.records(k)
+    ]
+
+
+def export_csv(
+    session: ExperimentSession,
+    path: str | Path,
+    ks: Sequence[int] | None = None,
+) -> int:
+    """Write one CSV row per (query, k); returns the number of rows."""
+    rows = _rows_of(session, ks)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=FIELDS)
+        writer.writeheader()
+        writer.writerows(rows)
+    return len(rows)
+
+
+def export_json(
+    session: ExperimentSession,
+    path: str | Path,
+    ks: Sequence[int] | None = None,
+    include_answers: bool = False,
+) -> int:
+    """Write the records as a JSON document.
+
+    ``include_answers`` additionally embeds the Spec-QP and TriniT answer
+    lists (bindings + scores) per record — larger, but enough to recompute
+    any quality metric offline.
+    """
+    rows = _rows_of(session, ks)
+    if include_answers:
+        by_key = {
+            (record.query_name, record.k): record
+            for k in (ks or session.ks)
+            for record in session.records(k)
+        }
+        for row in rows:
+            record = by_key[(row["query_name"], row["k"])]  # type: ignore[index]
+            row["spec_answers"] = [
+                {"bindings": dict(a.bindings), "score": a.score}
+                for a in record.spec_answers
+            ]
+            row["trinit_answers"] = [
+                {"bindings": dict(a.bindings), "score": a.score}
+                for a in record.trinit_answers
+            ]
+    document = {
+        "workload": session.workload.summary(),
+        "ks": list(ks or session.ks),
+        "records": rows,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+    return len(rows)

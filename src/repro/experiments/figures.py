@@ -1,0 +1,120 @@
+"""Figures 6–9 — runtime and memory comparisons, T vs S.
+
+All four figures share one shape: for each k ∈ {10, 15, 20}, bar groups
+of TriniT ('T') vs Spec-QP ('S') average runtimes and average answer-
+object counts.  They differ only in dataset and grouping axis:
+
+* Fig. 6 — XKG, grouped by number of triple patterns (2/3/4);
+* Fig. 7 — XKG, grouped by number of patterns *relaxed by Spec-QP*;
+* Fig. 8 — Twitter, grouped by number of triple patterns (2/3);
+* Fig. 9 — Twitter, grouped by number of patterns relaxed by Spec-QP.
+
+One runner serves all four; the dataset comes from the session and the
+axis is a parameter.  Expected shape: S ≤ T everywhere, the gap widest at
+0 relaxed patterns and closing (slightly inverting on runtime, due to
+planning overhead) when every pattern is relaxed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Literal
+
+from repro.experiments.session import ExperimentSession, QueryRecord
+from repro.metrics.report import fmt_seconds, render_table
+
+GroupAxis = Literal["patterns", "relaxed"]
+
+
+@dataclass(frozen=True)
+class FigureGroup:
+    """One bar pair of one panel: a (k, group) cell with T and S values."""
+
+    k: int
+    group: int               # #patterns or #patterns-relaxed
+    n_queries: int
+    trinit_seconds: float    # mean runtime
+    spec_seconds: float
+    trinit_objects: float    # mean answer objects
+    spec_objects: float
+
+    @property
+    def runtime_gain(self) -> float:
+        """T/S runtime ratio (> 1 means Spec-QP is faster)."""
+        if self.spec_seconds <= 0:
+            return float("inf")
+        return self.trinit_seconds / self.spec_seconds
+
+
+def _axis_value(record: QueryRecord, axis: GroupAxis) -> int:
+    if axis == "patterns":
+        return record.n_patterns
+    return record.n_relaxed_by_spec
+
+
+def _figure(session: ExperimentSession, axis: GroupAxis) -> list[FigureGroup]:
+    groups: list[FigureGroup] = []
+    for k in session.ks:
+        records = session.records(k)
+        values = sorted({_axis_value(record, axis) for record in records})
+        for value in values:
+            bucket = [r for r in records if _axis_value(r, axis) == value]
+            n = len(bucket)
+            groups.append(
+                FigureGroup(
+                    k=k,
+                    group=value,
+                    n_queries=n,
+                    trinit_seconds=sum(r.trinit_total_seconds for r in bucket) / n,
+                    spec_seconds=sum(r.spec_total_seconds for r in bucket) / n,
+                    trinit_objects=sum(r.trinit_answer_objects for r in bucket) / n,
+                    spec_objects=sum(r.spec_answer_objects for r in bucket) / n,
+                )
+            )
+    return groups
+
+
+def figure_efficiency_by_patterns(session: ExperimentSession) -> list[FigureGroup]:
+    """Figures 6 (XKG) and 8 (Twitter): grouped by query size."""
+    return _figure(session, "patterns")
+
+
+def figure_efficiency_by_relaxed(session: ExperimentSession) -> list[FigureGroup]:
+    """Figures 7 (XKG) and 9 (Twitter): grouped by #patterns relaxed."""
+    return _figure(session, "relaxed")
+
+
+def render(
+    session: ExperimentSession,
+    axis: GroupAxis,
+    figure_name: str,
+) -> str:
+    groups = _figure(session, axis)
+    axis_label = "#TP" if axis == "patterns" else "#TP relaxed"
+    rows = [
+        (
+            group.k,
+            group.group,
+            group.n_queries,
+            fmt_seconds(group.trinit_seconds),
+            fmt_seconds(group.spec_seconds),
+            f"{group.runtime_gain:.2f}x",
+            f"{group.trinit_objects:,.0f}",
+            f"{group.spec_objects:,.0f}",
+        )
+        for group in groups
+    ]
+    return render_table(
+        headers=(
+            "k",
+            axis_label,
+            "#q",
+            "T runtime",
+            "S runtime",
+            "T/S",
+            "T objects",
+            "S objects",
+        ),
+        rows=rows,
+        title=f"{figure_name} — efficiency over {session.workload.name} by {axis_label}",
+    )

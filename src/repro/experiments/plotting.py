@@ -1,0 +1,74 @@
+"""ASCII bar charts for the efficiency figures.
+
+The paper's Figures 6–9 are grouped bar charts (T vs S per group).  This
+module renders the same series as terminal-friendly horizontal bars so
+``spec-qp fig7 --chart`` gives an immediate visual read without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.figures import FigureGroup
+from repro.metrics.report import fmt_seconds
+
+#: Width of the widest bar, in characters.
+BAR_WIDTH = 46
+
+
+def _bar(value: float, maximum: float, fill: str) -> str:
+    if maximum <= 0:
+        return ""
+    length = int(round(BAR_WIDTH * value / maximum))
+    return fill * max(length, 1 if value > 0 else 0)
+
+
+def render_chart(
+    groups: Sequence[FigureGroup],
+    metric: str = "runtime",
+    title: str = "",
+) -> str:
+    """Render grouped T/S bars, one panel per k.
+
+    ``metric`` is ``"runtime"`` (seconds) or ``"memory"`` (answer objects).
+    """
+    if metric == "runtime":
+        t_of: Callable[[FigureGroup], float] = lambda g: g.trinit_seconds
+        s_of: Callable[[FigureGroup], float] = lambda g: g.spec_seconds
+        fmt: Callable[[float], str] = fmt_seconds
+    elif metric == "memory":
+        t_of = lambda g: g.trinit_objects
+        s_of = lambda g: g.spec_objects
+        fmt = lambda v: f"{v:,.0f}"
+    else:
+        raise ExperimentError(
+            f"metric must be 'runtime' or 'memory', got {metric!r}"
+        )
+    if not groups:
+        raise ExperimentError("no figure groups to chart")
+
+    maximum = max(max(t_of(g), s_of(g)) for g in groups)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for k in sorted({g.k for g in groups}):
+        lines.append(f"k={k}")
+        for group in sorted(
+            (g for g in groups if g.k == k), key=lambda g: g.group
+        ):
+            t_value, s_value = t_of(group), s_of(group)
+            lines.append(
+                f"  group {group.group} "
+                f"({group.n_queries} queries)"
+            )
+            lines.append(
+                f"    T {_bar(t_value, maximum, '█'):<{BAR_WIDTH}} {fmt(t_value)}"
+            )
+            lines.append(
+                f"    S {_bar(s_value, maximum, '▒'):<{BAR_WIDTH}} {fmt(s_value)}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()

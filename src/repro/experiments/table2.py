@@ -1,0 +1,40 @@
+"""Table 2 — Precision (= recall) per dataset and k.
+
+The paper reports the average over all queries of the fraction of true
+top-k answers that Spec-QP returned, for k ∈ {10, 15, 20}:
+0.7 / 0.88 / 0.91 on XKG and 0.72 / 0.78 / 0.8 on Twitter.  The shape to
+reproduce: precision in the ~0.7–0.95 band, rising with k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.session import ExperimentSession
+from repro.metrics.report import render_table
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    k: int
+    precision: float
+    n_queries: int
+
+
+def table2_precision(session: ExperimentSession) -> list[Table2Row]:
+    """Average precision per k over the session's workload."""
+    rows: list[Table2Row] = []
+    for k in session.ks:
+        records = session.records(k)
+        mean = sum(record.precision for record in records) / len(records)
+        rows.append(Table2Row(k=k, precision=mean, n_queries=len(records)))
+    return rows
+
+
+def render(session: ExperimentSession) -> str:
+    rows = table2_precision(session)
+    return render_table(
+        headers=("k", "precision (=recall)", "#queries"),
+        rows=[(row.k, f"{row.precision:.2f}", row.n_queries) for row in rows],
+        title=f"Table 2 — precision over {session.workload.name}",
+    )

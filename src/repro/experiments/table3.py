@@ -1,0 +1,69 @@
+"""Table 3 — Prediction accuracy grouped by required relaxation count.
+
+For each (dataset, k), queries are grouped by how many of their triple
+patterns *required* relaxation to produce the true top-k; within each
+group the paper counts how many queries Spec-QP predicted *exactly* the
+right relaxation set, shown as ``correct(total)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.session import ExperimentSession
+from repro.metrics.report import render_table
+
+
+@dataclass(frozen=True)
+class Table3Cell:
+    k: int
+    n_required: int
+    correct: int
+    total: int
+
+    def format(self) -> str:
+        if self.total == 0:
+            return "-(-)"
+        return f"{self.correct}({self.total})"
+
+
+def table3_prediction_accuracy(session: ExperimentSession) -> list[Table3Cell]:
+    """One cell per (k, required-relaxation-count) group."""
+    cells: list[Table3Cell] = []
+    max_patterns = max(len(q) for q in session.workload.queries)
+    for k in session.ks:
+        records = session.records(k)
+        for n_required in range(0, max_patterns + 1):
+            group = [r for r in records if r.n_required_relaxations == n_required]
+            cells.append(
+                Table3Cell(
+                    k=k,
+                    n_required=n_required,
+                    correct=sum(1 for r in group if r.prediction_correct),
+                    total=len(group),
+                )
+            )
+    return cells
+
+
+def render(session: ExperimentSession) -> str:
+    cells = table3_prediction_accuracy(session)
+    max_patterns = max(len(q) for q in session.workload.queries)
+    headers = ["queries requiring"] + [f"k={k}" for k in session.ks]
+    rows = []
+    for n_required in range(0, max_patterns + 1):
+        row: list[object] = [f"{n_required} relaxation(s)"]
+        for k in session.ks:
+            cell = next(
+                c for c in cells if c.k == k and c.n_required == n_required
+            )
+            row.append(cell.format())
+        rows.append(row)
+    return render_table(
+        headers=headers,
+        rows=rows,
+        title=(
+            f"Table 3 — prediction accuracy over {session.workload.name} "
+            "(correct(total))"
+        ),
+    )

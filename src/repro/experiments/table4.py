@@ -1,0 +1,85 @@
+"""Table 4 — Average score error grouped by query size.
+
+For each (dataset, k, #triple-patterns) group: the mean over queries of
+the rank-wise absolute deviation between Spec-QP's and TriniT's top-k
+scores, with standard deviation and the percentage of the maximum
+possible answer score (= #patterns).  The paper's numbers are small
+(0.01–0.5) and shrink as k grows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.experiments.session import ExperimentSession
+from repro.metrics.report import render_table
+
+
+@dataclass(frozen=True)
+class Table4Cell:
+    k: int
+    n_patterns: int
+    mean_error: float
+    std_error: float
+    mean_percent: float
+    total: int
+
+    def format(self) -> str:
+        if self.total == 0:
+            return "-"
+        return (
+            f"{self.mean_error:.2f}({self.mean_percent:.0f}%)"
+            f"±{self.std_error:.2f}"
+        )
+
+
+def table4_score_error(session: ExperimentSession) -> list[Table4Cell]:
+    """One cell per (k, query-size) group."""
+    sizes = sorted({len(q) for q in session.workload.queries})
+    cells: list[Table4Cell] = []
+    for k in session.ks:
+        records = session.records(k)
+        for size in sizes:
+            group = [r for r in records if r.n_patterns == size]
+            if not group:
+                cells.append(Table4Cell(k, size, 0.0, 0.0, 0.0, 0))
+                continue
+            means = [r.error.mean for r in group]
+            mean = sum(means) / len(means)
+            variance = sum((m - mean) ** 2 for m in means) / len(means)
+            percent = sum(r.error.percent for r in group) / len(group)
+            cells.append(
+                Table4Cell(
+                    k=k,
+                    n_patterns=size,
+                    mean_error=mean,
+                    std_error=math.sqrt(variance),
+                    mean_percent=percent,
+                    total=len(group),
+                )
+            )
+    return cells
+
+
+def render(session: ExperimentSession) -> str:
+    cells = table4_score_error(session)
+    sizes = sorted({len(q) for q in session.workload.queries})
+    headers = ["k"] + [f"#TP={size}" for size in sizes]
+    rows = []
+    for k in session.ks:
+        row: list[object] = [k]
+        for size in sizes:
+            cell = next(
+                c for c in cells if c.k == k and c.n_patterns == size
+            )
+            row.append(cell.format())
+        rows.append(row)
+    return render_table(
+        headers=headers,
+        rows=rows,
+        title=(
+            f"Table 4 — score deviation over {session.workload.name} "
+            "(mean(percent)±std)"
+        ),
+    )

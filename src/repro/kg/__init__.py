@@ -1,0 +1,31 @@
+"""Scored knowledge-graph substrate.
+
+This package plays the role the PostgreSQL backend played in the paper:
+it stores ``(subject, predicate, object)`` triples, each with a non-negative
+score, and can return the matches of any triple pattern *sorted by
+normalised score in descending order* — the only interface the top-k
+operators need.
+
+Public surface:
+
+* :class:`~repro.kg.triple.Triple` — an immutable scored triple.
+* :class:`~repro.kg.pattern.TriplePattern` / :class:`~repro.kg.pattern.Variable`
+  — SPARQL-style triple patterns.
+* :class:`~repro.kg.graph.KnowledgeGraph` — the store itself.
+* :mod:`~repro.kg.storage` — TSV/N-triples-style (de)serialisation.
+"""
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pattern import TriplePattern, Variable, is_variable
+from repro.kg.triple import Triple
+from repro.kg.namespace import Namespace, RDF_TYPE
+
+__all__ = [
+    "KnowledgeGraph",
+    "Namespace",
+    "RDF_TYPE",
+    "Triple",
+    "TriplePattern",
+    "Variable",
+    "is_variable",
+]

@@ -1,0 +1,148 @@
+"""The in-memory scored triple store (Definition 1).
+
+:class:`KnowledgeGraph` stores triples, exposes pattern matching, and owns
+a :class:`~repro.kg.index.PatternIndex` that serves score-sorted match
+lists — the substrate interface the paper obtained from PostgreSQL with an
+``ORDER BY score DESC``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import KnowledgeGraphError
+from repro.kg.index import MatchList, PatternIndex
+from repro.kg.pattern import TriplePattern
+from repro.kg.triple import Triple
+
+
+class KnowledgeGraph:
+    """A set of scored triples with pattern-match indexes.
+
+    The graph is *append/update only*: adding an existing triple replaces
+    its score.  Indexes are built lazily and invalidated on mutation, so
+    bulk loading stays linear.
+
+    >>> kg = KnowledgeGraph()
+    >>> kg.add("shakira", "rdf:type", "singer", score=120.0)
+    >>> kg.size
+    1
+    """
+
+    def __init__(self, triples: Iterable[Triple] | None = None, name: str = "kg") -> None:
+        self.name = name
+        self._scores: dict[tuple[str, str, str], float] = {}
+        self._index = PatternIndex(self)
+        self._version = 0
+        if triples is not None:
+            self.add_triples(triples)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, subject: str, predicate: str, obj: str, score: float = 1.0) -> None:
+        """Add one triple (or update its score if already present)."""
+        self.add_triple(Triple(subject, predicate, obj, score))
+
+    def add_triple(self, triple: Triple) -> None:
+        self._scores[triple.spo] = float(triple.score)
+        self._version += 1
+
+    def add_triples(self, triples: Iterable[Triple]) -> int:
+        """Bulk-add; returns the number of triples processed."""
+        count = 0
+        for triple in triples:
+            if not isinstance(triple, Triple):
+                raise KnowledgeGraphError(f"expected Triple, got {type(triple).__name__}")
+            self._scores[triple.spo] = float(triple.score)
+            count += 1
+        if count:
+            self._version += 1
+        return count
+
+    def remove(self, subject: str, predicate: str, obj: str) -> bool:
+        """Remove a triple; returns True if it was present."""
+        removed = self._scores.pop((subject, predicate, obj), None) is not None
+        if removed:
+            self._version += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of distinct triples."""
+        return len(self._scores)
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; used by caches to detect staleness."""
+        return self._version
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Triple):
+            return item.spo in self._scores
+        if isinstance(item, tuple) and len(item) == 3:
+            return item in self._scores
+        return False
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def triples(self) -> Iterator[Triple]:
+        """Iterate over all triples (arbitrary but stable order)."""
+        for (s, p, o), score in self._scores.items():
+            yield Triple(s, p, o, score)
+
+    def score_of(self, subject: str, predicate: str, obj: str) -> float:
+        """Raw score of a triple; raises if absent."""
+        try:
+            return self._scores[(subject, predicate, obj)]
+        except KeyError:
+            raise KnowledgeGraphError(
+                f"triple ({subject!r}, {predicate!r}, {obj!r}) not in graph"
+            ) from None
+
+    def entities(self) -> set[str]:
+        """All subjects and objects."""
+        result: set[str] = set()
+        for s, _, o in self._scores:
+            result.add(s)
+            result.add(o)
+        return result
+
+    def predicates(self) -> set[str]:
+        return {p for _, p, _ in self._scores}
+
+    # ------------------------------------------------------------------
+    # Pattern matching
+    # ------------------------------------------------------------------
+    def match(self, pattern: TriplePattern) -> Iterator[Triple]:
+        """All triples matching *pattern* (unsorted).
+
+        Uses the index for constant-position lookup, then filters for
+        repeated-variable consistency.
+        """
+        for triple in self._index.candidates(pattern.key()):
+            if pattern.matches(triple):
+                yield triple
+
+    def count(self, pattern: TriplePattern) -> int:
+        """Number of matches of *pattern* (``m_i`` in the paper)."""
+        return sum(1 for _ in self.match(pattern))
+
+    def match_list(self, pattern: TriplePattern) -> MatchList:
+        """The score-sorted, score-normalised match list of *pattern*.
+
+        This is the sorted input stream the paper's operators read
+        (Definition 5: matches normalised by the list's maximum raw score,
+        sorted descending).  Cached per pattern key.
+        """
+        return self._index.match_list(pattern)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KnowledgeGraph(name={self.name!r}, size={self.size})"

@@ -1,0 +1,183 @@
+"""Pattern indexes and score-sorted match lists.
+
+The operators in :mod:`repro.operators` consume one thing from the
+substrate: for each triple pattern, a list of its matching triples sorted
+by *normalised* score in descending order (Definition 5).  The paper got
+this from PostgreSQL; here a :class:`PatternIndex` provides it from memory.
+
+Index structure
+---------------
+For candidate retrieval we keep hash indexes on each non-empty subset of
+bound positions that actually occurs in queries: S, P, O, SP, SO, PO, SPO.
+They are built lazily the first time a key shape is used and rebuilt when
+the graph mutates (detected via the graph's version counter).
+
+Match lists
+-----------
+A :class:`MatchList` is an immutable snapshot: the pattern's matches sorted
+by raw score descending (ties broken by the triple's terms for
+determinism), the list's maximum raw score, and the normalised scores.  It
+also precomputes the summary statistics the two-bucket histograms need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.errors import KnowledgeGraphError
+from repro.kg.pattern import TriplePattern
+from repro.kg.triple import Triple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kg.graph import KnowledgeGraph
+
+#: Which positions are bound: a 3-bit mask over (S, P, O).
+KeyShape = tuple[bool, bool, bool]
+
+
+@dataclass(frozen=True)
+class MatchList:
+    """An immutable score-sorted match list for one triple-pattern key.
+
+    Attributes
+    ----------
+    pattern_key:
+        The ``(s, p, o)`` key with ``None`` for variable positions.
+    triples:
+        Matches sorted by raw score descending (stable tie-break on terms).
+    max_score:
+        The maximum *raw* score in the list (the Definition-5 normaliser);
+        0.0 for an empty list.
+    normalized_scores:
+        ``S(t|q) = S(t) / max_score`` per triple, in list order.
+    """
+
+    pattern_key: tuple[str | None, str | None, str | None]
+    triples: tuple[Triple, ...]
+    max_score: float
+    normalized_scores: tuple[float, ...]
+
+    @classmethod
+    def from_triples(
+        cls,
+        pattern_key: tuple[str | None, str | None, str | None],
+        triples: Iterable[Triple],
+    ) -> "MatchList":
+        ordered = sorted(triples, key=lambda t: (-t.score, t.spo))
+        max_score = ordered[0].score if ordered else 0.0
+        if max_score > 0:
+            normalized = tuple(t.score / max_score for t in ordered)
+        else:
+            normalized = tuple(0.0 for _ in ordered)
+        return cls(pattern_key, tuple(ordered), max_score, normalized)
+
+    def __len__(self) -> int:
+        return len(self.triples)
+
+    def __bool__(self) -> bool:
+        return bool(self.triples)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.triples
+
+    def normalized(self, rank: int) -> float:
+        """Normalised score at 0-based *rank* (rank 0 is the best match)."""
+        return self.normalized_scores[rank]
+
+    def total_normalized_score(self) -> float:
+        """``S^i_{m_i}``: sum of normalised scores over the whole list."""
+        return float(sum(self.normalized_scores))
+
+    def cumulative_normalized_scores(self) -> list[float]:
+        """Prefix sums of normalised scores (``S^i_r`` for every rank r)."""
+        sums: list[float] = []
+        running = 0.0
+        for value in self.normalized_scores:
+            running += value
+            sums.append(running)
+        return sums
+
+
+class PatternIndex:
+    """Lazy hash indexes over a :class:`~repro.kg.graph.KnowledgeGraph`.
+
+    One index per key *shape* (which of S/P/O are bound).  Each index maps
+    the bound-term tuple to the list of matching triples.  Match lists are
+    additionally cached per concrete pattern key.
+    """
+
+    def __init__(self, graph: "KnowledgeGraph") -> None:
+        self._graph = graph
+        self._built_version = -1
+        self._shape_indexes: dict[KeyShape, dict[tuple[str, ...], list[Triple]]] = {}
+        self._match_lists: dict[tuple[str | None, str | None, str | None], MatchList] = {}
+
+    # ------------------------------------------------------------------
+    def _invalidate_if_stale(self) -> None:
+        if self._built_version != self._graph.version:
+            self._shape_indexes.clear()
+            self._match_lists.clear()
+            self._built_version = self._graph.version
+
+    @staticmethod
+    def _shape_of(key: Sequence[str | None]) -> KeyShape:
+        return tuple(term is not None for term in key)  # type: ignore[return-value]
+
+    def _index_for_shape(self, shape: KeyShape) -> dict[tuple[str, ...], list[Triple]]:
+        index = self._shape_indexes.get(shape)
+        if index is None:
+            index = {}
+            for triple in self._graph.triples():
+                bound = tuple(
+                    term
+                    for term, is_bound in zip(triple.spo, shape)
+                    if is_bound
+                )
+                index.setdefault(bound, []).append(triple)
+            self._shape_indexes[shape] = index
+        return index
+
+    # ------------------------------------------------------------------
+    def candidates(
+        self, key: tuple[str | None, str | None, str | None]
+    ) -> list[Triple]:
+        """Triples agreeing with the bound positions of *key*.
+
+        A fully-unbound key returns every triple (a full scan, as in any
+        store); a fully-bound key returns zero or one triple.
+        """
+        self._invalidate_if_stale()
+        shape = self._shape_of(key)
+        if not any(shape):
+            return list(self._graph.triples())
+        index = self._index_for_shape(shape)
+        bound = tuple(term for term in key if term is not None)
+        return index.get(bound, [])
+
+    def match_list(self, pattern: TriplePattern) -> MatchList:
+        """Score-sorted match list for *pattern*, cached by key."""
+        self._invalidate_if_stale()
+        key = pattern.key()
+        cached = self._match_lists.get(key)
+        if cached is None:
+            if len(set(pattern.variable_names)) != len(
+                [t for t in pattern.terms if not isinstance(t, str)]
+            ):
+                # Repeated variables: fall back to full predicate matching
+                # so that e.g. (?x, p, ?x) only keeps diagonal triples.
+                matches = [t for t in self.candidates(key) if pattern.matches(t)]
+            else:
+                matches = self.candidates(key)
+            cached = MatchList.from_triples(key, matches)
+            self._match_lists[key] = cached
+        return cached
+
+    def stats(self) -> dict[str, int]:
+        """Diagnostics: how many shape indexes / match lists are cached."""
+        return {
+            "shape_indexes": len(self._shape_indexes),
+            "match_lists": len(self._match_lists),
+            "version": self._built_version,
+        }

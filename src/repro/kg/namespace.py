@@ -1,0 +1,56 @@
+"""Tiny IRI/namespace helpers.
+
+The paper's datasets mix IRIs (``rdf:type``, YAGO entities) with plain
+textual tokens (XKG's OpenIE triples, Twitter terms).  We keep terms as
+plain strings throughout the engine; this module only provides convenience
+constructors so examples and datasets can build well-formed names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+#: The one predicate the paper's running example uses everywhere.
+RDF_TYPE = "rdf:type"
+
+
+@dataclass(frozen=True)
+class Namespace:
+    """A string prefix that mints qualified names.
+
+    >>> yago = Namespace("yago:")
+    >>> yago["Shakira"]
+    'yago:Shakira'
+    """
+
+    prefix: str
+
+    def __getitem__(self, local_name: str) -> str:
+        return self.term(local_name)
+
+    def term(self, local_name: str) -> str:
+        """Return ``prefix + local_name``.
+
+        Raises :class:`ValueError` for empty local names, which would
+        otherwise silently alias the namespace itself.
+        """
+        if not local_name:
+            raise ValueError("local name must be non-empty")
+        return f"{self.prefix}{local_name}"
+
+    def __contains__(self, term: str) -> bool:
+        return term.startswith(self.prefix)
+
+    def local(self, term: str) -> str:
+        """Strip the prefix from *term* (``ValueError`` if not in namespace)."""
+        if term not in self:
+            raise ValueError(f"{term!r} is not in namespace {self.prefix!r}")
+        return term[len(self.prefix):]
+
+
+#: Namespaces used by the bundled synthetic datasets.
+YAGO = Namespace("yago:")
+XKG = Namespace("xkg:")
+TWEET = Namespace("tweet:")
+TAG = Namespace("#")

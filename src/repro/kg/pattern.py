@@ -1,0 +1,155 @@
+"""Triple patterns and variables (Definition 2 of the paper).
+
+A triple pattern is ``⟨S P O⟩`` where each position is either a constant
+term from the KG or a :class:`Variable`.  A pattern matches every triple
+that agrees with it on the constant positions; matching binds the
+variables to the triple's values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.errors import PatternError
+from repro.kg.triple import Triple
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A SPARQL-style variable, printed with a leading question mark."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PatternError("variable name must be non-empty")
+        if self.name.startswith("?"):
+            raise PatternError(
+                f"variable name should not include the '?' prefix: {self.name!r}"
+            )
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Variable({self.name!r})"
+
+
+Term = str | Variable
+
+
+def is_variable(term: object) -> bool:
+    """True iff *term* is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def var(name: str) -> Variable:
+    """Shorthand constructor: ``var('s') == Variable('s')``."""
+    return Variable(name)
+
+
+@dataclass(frozen=True, slots=True)
+class TriplePattern:
+    """An ``⟨S P O⟩`` pattern over constants and variables.
+
+    The pattern's :meth:`key` — the three positions with every variable
+    replaced by ``None`` — identifies its *match list* in the KG index:
+    two patterns with the same key match exactly the same triples, even if
+    their variables are named differently.
+    """
+
+    subject: Term
+    predicate: Term
+    object: Term
+
+    def __post_init__(self) -> None:
+        for position, value in zip("SPO", self.terms):
+            if isinstance(value, Variable):
+                continue
+            if not isinstance(value, str) or not value:
+                raise PatternError(
+                    f"pattern position {position} must be a Variable or a "
+                    f"non-empty string, got {value!r}"
+                )
+        if not self.variables and len(set(self.terms)) != 3:
+            # A fully-constant pattern is legal (an "ask" pattern) but a
+            # degenerate all-equal one is almost certainly a typo.
+            pass
+
+    @property
+    def terms(self) -> tuple[Term, Term, Term]:
+        return (self.subject, self.predicate, self.object)
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        """The distinct variables, in S-P-O position order."""
+        seen: dict[Variable, None] = {}
+        for term in self.terms:
+            if isinstance(term, Variable):
+                seen.setdefault(term)
+        return tuple(seen)
+
+    @property
+    def variable_names(self) -> tuple[str, ...]:
+        return tuple(v.name for v in self.variables)
+
+    def key(self) -> tuple[str | None, str | None, str | None]:
+        """Constants with variables wildcarded — the index lookup key."""
+        return tuple(
+            None if isinstance(term, Variable) else term for term in self.terms
+        )  # type: ignore[return-value]
+
+    def matches(self, triple: Triple) -> bool:
+        """True iff *triple* agrees with this pattern's constant positions
+        and repeated variables bind consistently."""
+        return self.bind(triple) is not None
+
+    def bind(self, triple: Triple) -> dict[str, str] | None:
+        """Return the variable bindings for *triple*, or ``None`` on mismatch.
+
+        Handles repeated variables (``?x p ?x``) by requiring consistency.
+        """
+        bindings: dict[str, str] = {}
+        for term, value in zip(self.terms, triple.spo):
+            if isinstance(term, Variable):
+                bound = bindings.get(term.name)
+                if bound is None:
+                    bindings[term.name] = value
+                elif bound != value:
+                    return None
+            elif term != value:
+                return None
+        return bindings
+
+    def substitute(self, bindings: Mapping[str, str]) -> "TriplePattern":
+        """Replace every variable that *bindings* covers with its value."""
+        new_terms = []
+        for term in self.terms:
+            if isinstance(term, Variable) and term.name in bindings:
+                new_terms.append(bindings[term.name])
+            else:
+                new_terms.append(term)
+        return TriplePattern(*new_terms)
+
+    def rename(self, mapping: Mapping[str, str]) -> "TriplePattern":
+        """Rename variables according to *mapping* (old name -> new name)."""
+        new_terms: list[Term] = []
+        for term in self.terms:
+            if isinstance(term, Variable) and term.name in mapping:
+                new_terms.append(Variable(mapping[term.name]))
+            else:
+                new_terms.append(term)
+        return TriplePattern(*new_terms)
+
+    def shares_variable_with(self, other: "TriplePattern") -> bool:
+        return bool(set(self.variable_names) & set(other.variable_names))
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self.terms)
+
+    def __str__(self) -> str:
+        return " ".join(str(t) for t in self.terms)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TriplePattern({self.subject!r}, {self.predicate!r}, {self.object!r})"

@@ -1,0 +1,150 @@
+"""(De)serialisation of scored knowledge graphs.
+
+Two formats:
+
+* **Scored TSV** — ``subject<TAB>predicate<TAB>object<TAB>score`` per line,
+  the native format of this repo (lossless, trivially diffable).
+* **N-triples-ish** — ``<s> <p> <o> .`` lines without scores, for
+  interoperability with standard RDF tooling; scores default to 1.0 on
+  load and are dropped on save.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from repro.errors import KnowledgeGraphError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triple import Triple
+
+
+def _open_text(path: str | Path, mode: str) -> TextIO:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, mode + "b"), encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# Scored TSV
+# ----------------------------------------------------------------------
+def save_tsv(graph: KnowledgeGraph, path: str | Path) -> int:
+    """Write *graph* as scored TSV; returns the number of lines written."""
+    count = 0
+    with _open_text(path, "w") as handle:
+        for triple in sorted(graph.triples(), key=lambda t: t.spo):
+            handle.write(
+                f"{triple.subject}\t{triple.predicate}\t{triple.object}\t{triple.score:.10g}\n"
+            )
+            count += 1
+    return count
+
+
+def iter_tsv(path: str | Path) -> Iterator[Triple]:
+    """Yield triples from a scored TSV file, validating as we go."""
+    with _open_text(path, "r") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) == 3:
+                s, p, o = parts
+                score = 1.0
+            elif len(parts) == 4:
+                s, p, o, raw_score = parts
+                try:
+                    score = float(raw_score)
+                except ValueError:
+                    raise KnowledgeGraphError(
+                        f"{path}:{line_no}: bad score {raw_score!r}"
+                    ) from None
+            else:
+                raise KnowledgeGraphError(
+                    f"{path}:{line_no}: expected 3 or 4 tab-separated fields, "
+                    f"got {len(parts)}"
+                )
+            yield Triple(s, p, o, score)
+
+
+def load_tsv(path: str | Path, name: str | None = None) -> KnowledgeGraph:
+    """Load a scored TSV file into a fresh :class:`KnowledgeGraph`."""
+    graph = KnowledgeGraph(name=name or Path(path).stem)
+    graph.add_triples(iter_tsv(path))
+    return graph
+
+
+# ----------------------------------------------------------------------
+# N-triples-ish
+# ----------------------------------------------------------------------
+def _angle(term: str) -> str:
+    return f"<{term}>"
+
+
+def _unangle(token: str, where: str) -> str:
+    if len(token) >= 2 and token[0] == "<" and token[-1] == ">":
+        return token[1:-1]
+    raise KnowledgeGraphError(f"{where}: expected <term>, got {token!r}")
+
+
+def save_ntriples(graph: KnowledgeGraph, path: str | Path) -> int:
+    """Write *graph* without scores in a simple N-triples-like syntax."""
+    count = 0
+    with _open_text(path, "w") as handle:
+        for triple in sorted(graph.triples(), key=lambda t: t.spo):
+            handle.write(
+                f"{_angle(triple.subject)} {_angle(triple.predicate)} "
+                f"{_angle(triple.object)} .\n"
+            )
+            count += 1
+    return count
+
+
+def iter_ntriples(path: str | Path) -> Iterator[Triple]:
+    with _open_text(path, "r") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if not line.endswith("."):
+                raise KnowledgeGraphError(f"{path}:{line_no}: missing trailing '.'")
+            tokens = line[:-1].split()
+            if len(tokens) != 3:
+                raise KnowledgeGraphError(
+                    f"{path}:{line_no}: expected 3 terms, got {len(tokens)}"
+                )
+            where = f"{path}:{line_no}"
+            yield Triple(
+                _unangle(tokens[0], where),
+                _unangle(tokens[1], where),
+                _unangle(tokens[2], where),
+                1.0,
+            )
+
+
+def load_ntriples(path: str | Path, name: str | None = None) -> KnowledgeGraph:
+    graph = KnowledgeGraph(name=name or Path(path).stem)
+    graph.add_triples(iter_ntriples(path))
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Convenience
+# ----------------------------------------------------------------------
+def from_tuples(
+    rows: Iterable[tuple[str, str, str] | tuple[str, str, str, float]],
+    name: str = "kg",
+) -> KnowledgeGraph:
+    """Build a graph from plain tuples, a convenience for tests/examples."""
+    graph = KnowledgeGraph(name=name)
+    for row in rows:
+        if len(row) == 3:
+            graph.add(*row)  # type: ignore[misc]
+        elif len(row) == 4:
+            graph.add(row[0], row[1], row[2], score=float(row[3]))
+        else:
+            raise KnowledgeGraphError(f"expected 3- or 4-tuple, got {row!r}")
+    return graph

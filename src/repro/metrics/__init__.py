@@ -1,0 +1,22 @@
+"""Quality and efficiency metrics (§4.3).
+
+* :mod:`~repro.metrics.quality` — precision/recall, prediction accuracy
+  ground truth, score error.
+* :mod:`~repro.metrics.efficiency` — the paper's timing protocol (5 runs,
+  average of the last 3) and memory-object accounting helpers.
+* :mod:`~repro.metrics.report` — plain-text table rendering.
+"""
+
+from repro.metrics.quality import (
+    precision_at_k,
+    required_relaxations,
+    score_error,
+)
+from repro.metrics.efficiency import TimingProtocol
+
+__all__ = [
+    "TimingProtocol",
+    "precision_at_k",
+    "required_relaxations",
+    "score_error",
+]

@@ -1,0 +1,33 @@
+"""Physical top-k operators (§2.1).
+
+All operators are pull-based: ``next()`` returns the next output in
+descending-score order (or ``None`` when exhausted) and ``upper_bound()``
+gives the best score any *future* output can still have.  Rank Join uses
+the bounds for HRJN-style early termination; Incremental Merge uses them
+to merge a pattern's relaxation lists lazily.
+
+* :class:`~repro.operators.scan.SortedScan` — stream a match list.
+* :class:`~repro.operators.incremental_merge.IncrementalMerge` — merge the
+  original pattern's list with its relaxations' lists (weighted).
+* :class:`~repro.operators.rank_join.RankJoin` — HRJN-style binary join.
+* :class:`~repro.operators.topk.TopK` — dedup + collect the final top-k.
+* :class:`~repro.operators.memory.ExecutionContext` — answer-object
+  accounting (the paper's memory metric) and pull statistics.
+"""
+
+from repro.operators.base import Operator
+from repro.operators.incremental_merge import IncrementalMerge, WeightedInput
+from repro.operators.memory import ExecutionContext
+from repro.operators.rank_join import RankJoin
+from repro.operators.scan import SortedScan
+from repro.operators.topk import TopK
+
+__all__ = [
+    "ExecutionContext",
+    "IncrementalMerge",
+    "Operator",
+    "RankJoin",
+    "SortedScan",
+    "TopK",
+    "WeightedInput",
+]

@@ -1,0 +1,62 @@
+"""The pull-based operator protocol.
+
+Every physical operator emits :class:`~repro.query.answer.PartialAnswer`
+objects in **non-increasing score order** and exposes an upper bound on
+the score of anything it has not yet emitted.  That pair of guarantees is
+what lets rank joins terminate early (§2.1: the operators "maintain upper
+bounds to estimate scores of the answers that can be obtained by reading
+further into the lists").
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Iterator
+
+from repro.query.answer import PartialAnswer
+
+
+class Operator(abc.ABC):
+    """Base class for all pull-based operators.
+
+    Contract:
+
+    * :meth:`next` returns the next output or ``None`` (exhausted); once
+      ``None`` is returned, all later calls return ``None``.
+    * Outputs are in non-increasing score order.
+    * :meth:`upper_bound` is an upper bound on every future output's
+      score; it is ``-inf`` once exhausted and never increases.
+    """
+
+    @abc.abstractmethod
+    def next(self) -> PartialAnswer | None:
+        """Produce the next answer, or ``None`` when exhausted."""
+
+    @abc.abstractmethod
+    def upper_bound(self) -> float:
+        """Best score any not-yet-emitted output can have."""
+
+    @property
+    @abc.abstractmethod
+    def patterns_covered(self) -> frozenset[int]:
+        """Indexes (into the query) of the patterns this operator covers."""
+
+    def __iter__(self) -> Iterator[PartialAnswer]:
+        while True:
+            item = self.next()
+            if item is None:
+                return
+            yield item
+
+    def drain(self, limit: int | None = None) -> list[PartialAnswer]:
+        """Pull up to *limit* outputs (all of them when ``None``)."""
+        results: list[PartialAnswer] = []
+        for item in self:
+            results.append(item)
+            if limit is not None and len(results) >= limit:
+                break
+        return results
+
+
+EXHAUSTED_BOUND = -math.inf

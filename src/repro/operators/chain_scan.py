@@ -1,0 +1,130 @@
+"""ChainScan — sorted stream over a chain relaxation's matches.
+
+A chain relaxation replaces one query slot with a small conjunction of
+patterns (see :mod:`repro.relax.chains`).  To feed an Incremental Merge —
+which expects a sorted stream covering exactly that slot — the chain's
+join is materialised eagerly (chains are short and their member lists are
+single-pattern match lists), scored, deduplicated on the *outer*
+variables (intermediate variables are projected away, keeping the
+max-scoring witness), sorted descending, and streamed.
+
+Scoring: ``weight × mean(normalised member scores)`` — each chain match
+stays within ``[0, weight]``, comparable with single-pattern relaxations.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import ExecutionError
+from repro.kg.graph import KnowledgeGraph
+from repro.operators.base import EXHAUSTED_BOUND, Operator
+from repro.operators.memory import ExecutionContext
+from repro.query.answer import PartialAnswer
+from repro.relax.chains import ChainRelaxationRule
+
+
+class ChainScan(Operator):
+    """Stream a chain relaxation's matches in descending score order."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        rule: ChainRelaxationRule,
+        pattern_index: int,
+        context: ExecutionContext,
+    ) -> None:
+        self._rule = rule
+        self._context = context
+        self._covered = frozenset({pattern_index})
+        self._results = self._materialize(graph)
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    def _materialize(
+        self, graph: KnowledgeGraph
+    ) -> list[tuple[float, tuple[tuple[str, str], ...]]]:
+        """Join the chain's match lists; returns (score, outer bindings)
+        sorted by descending score."""
+        rows: list[tuple[dict[str, str], float]] | None = None
+        for pattern in self._rule.chain:
+            match_list = graph.match_list(pattern)
+            pattern_rows: list[tuple[dict[str, str], float]] = []
+            for position, triple in enumerate(match_list.triples):
+                self._context.tuples_pulled += 1
+                bindings = pattern.bind(triple)
+                if bindings is not None:
+                    pattern_rows.append(
+                        (bindings, match_list.normalized(position))
+                    )
+            if rows is None:
+                rows = pattern_rows
+                continue
+            known_vars: set[str] = set()
+            for bindings, _ in rows:
+                known_vars.update(bindings)
+                break
+            shared = sorted(known_vars & set(pattern.variable_names))
+            index: dict[tuple[str, ...], list[tuple[dict[str, str], float]]] = defaultdict(list)
+            for bindings, score in pattern_rows:
+                index[tuple(bindings.get(v, "") for v in shared)].append(
+                    (bindings, score)
+                )
+            merged: list[tuple[dict[str, str], float]] = []
+            for bindings, score in rows:
+                key = tuple(bindings.get(v, "") for v in shared)
+                for other_bindings, other_score in index.get(key, ()):
+                    if any(
+                        bindings.get(name, value) != value
+                        for name, value in other_bindings.items()
+                    ):
+                        continue
+                    combined = dict(bindings)
+                    combined.update(other_bindings)
+                    merged.append((combined, score + other_score))
+            rows = merged
+            if not rows:
+                break
+
+        outer_vars = tuple(sorted(self._rule.domain.variable_names))
+        n_members = len(self._rule.chain)
+        best: dict[tuple[tuple[str, str], ...], float] = {}
+        for bindings, summed in rows or []:
+            projected = tuple(
+                (name, bindings[name]) for name in outer_vars if name in bindings
+            )
+            if len(projected) != len(outer_vars):
+                raise ExecutionError(
+                    f"chain match failed to bind outer variables {outer_vars}"
+                )
+            score = self._rule.weight * summed / n_members
+            if best.get(projected, -1.0) < score:
+                best[projected] = score
+        return sorted(
+            ((score, projected) for projected, score in best.items()),
+            key=lambda item: (-item[0], item[1]),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def patterns_covered(self) -> frozenset[int]:
+        return self._covered
+
+    @property
+    def rule(self) -> ChainRelaxationRule:
+        return self._rule
+
+    def next(self) -> PartialAnswer | None:
+        if self._position >= len(self._results):
+            return None
+        score, projected = self._results[self._position]
+        self._position += 1
+        return self._context.factory.make(dict(projected), score, self._covered)
+
+    def upper_bound(self) -> float:
+        if self._position >= len(self._results):
+            return EXHAUSTED_BOUND
+        return self._results[self._position][0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ChainScan({self._rule.domain}, {len(self._rule.chain)}-chain)"

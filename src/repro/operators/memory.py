@@ -1,0 +1,38 @@
+"""Execution context: answer-object accounting and pull statistics.
+
+The paper measures memory as "the total number of answer objects created",
+covering every intermediate object built by Incremental Merges and Rank
+Joins.  One :class:`ExecutionContext` is threaded through an operator tree
+per query execution; its :class:`~repro.query.answer.AnswerFactory` is the
+only way operators construct partial answers, so the counter is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.query.answer import AnswerFactory
+
+
+@dataclass
+class ExecutionContext:
+    """Shared per-execution state for an operator tree."""
+
+    factory: AnswerFactory = field(default_factory=AnswerFactory)
+    tuples_pulled: int = 0       # items read from base match lists
+    joins_attempted: int = 0     # probe operations in rank joins
+    joins_matched: int = 0       # probes that produced at least one output
+
+    @property
+    def answer_objects_created(self) -> int:
+        """The paper's memory metric."""
+        return self.factory.objects_created
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict view for reports and tests."""
+        return {
+            "answer_objects_created": self.answer_objects_created,
+            "tuples_pulled": self.tuples_pulled,
+            "joins_attempted": self.joins_attempted,
+            "joins_matched": self.joins_matched,
+        }

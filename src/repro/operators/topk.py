@@ -1,0 +1,60 @@
+"""Top-k sink with duplicate elimination.
+
+Collects the first ``k`` *distinct* answers from a sorted stream.  Because
+upstream operators emit in non-increasing score order and an answer's
+identity is its variable bindings, keeping the first occurrence of each
+binding realises ``S(A) = max over relaxations`` (Definition 8) while a
+plain counter realises the top-k cut-off.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError
+from repro.operators.base import Operator
+from repro.query.answer import Answer, PartialAnswer
+
+
+class TopK:
+    """Drain an operator into the top-k distinct answers.
+
+    Not an :class:`Operator` itself — it is the plan root that materialises
+    the result list the user sees.
+    """
+
+    def __init__(self, source: Operator, k: int, projection: tuple[str, ...] | None = None) -> None:
+        if k < 1:
+            raise ExecutionError(f"k must be >= 1, got {k}")
+        self._source = source
+        self._k = k
+        self._projection = projection
+
+    def run(self) -> list[Answer]:
+        """Pull until k distinct answers are collected or input ends.
+
+        Distinctness is evaluated on the *projected* bindings when a
+        projection is given — two full bindings that agree on the
+        projection are the same answer to the user, and the higher-scored
+        one arrives first.
+        """
+        results: list[Answer] = []
+        seen: set[tuple[tuple[str, str], ...]] = set()
+        last_score = float("inf")
+        while len(results) < self._k:
+            item = self._source.next()
+            if item is None:
+                break
+            answer = item.to_answer(self._projection)
+            if answer.bindings in seen:
+                continue
+            if answer.score > last_score + 1e-9:
+                raise ExecutionError(
+                    "operator emitted answers out of score order: "
+                    f"{answer.score:.6f} after {last_score:.6f}"
+                )
+            last_score = answer.score
+            seen.add(answer.bindings)
+            results.append(answer)
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TopK(k={self._k})"

@@ -1,0 +1,24 @@
+"""Query model: triple-pattern queries, answers, scoring, and a
+mini-SPARQL parser.
+
+Implements Definitions 3–6 and 8 of the paper:
+
+* :class:`~repro.query.query.TriplePatternQuery` — a set (kept ordered for
+  determinism) of triple patterns over shared variables.
+* :class:`~repro.query.answer.Answer` — a variable binding with a score.
+* :func:`~repro.query.sparql.parse_sparql` — parses the SPARQL fragment the
+  paper uses (``SELECT ?v ... WHERE { tp. tp. ... }``).
+* :mod:`~repro.query.rewrite` — relaxed-query construction (Definition 8).
+"""
+
+from repro.query.answer import Answer, PartialAnswer
+from repro.query.query import TriplePatternQuery
+from repro.query.sparql import parse_sparql, format_sparql
+
+__all__ = [
+    "Answer",
+    "PartialAnswer",
+    "TriplePatternQuery",
+    "format_sparql",
+    "parse_sparql",
+]

@@ -1,0 +1,202 @@
+"""A mini-SPARQL parser covering the fragment the paper uses.
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT projection WHERE '{' body '}'
+    projection := '*' | variable+
+    body       := pattern ('.' pattern)* '.'?
+    pattern    := term term term
+    term       := variable | '<' iri '>' | quoted | bare
+    variable   := '?' NAME
+    quoted     := "'" chars "'" | '"' chars '"'
+
+Angle brackets and quotes are both accepted for constants because the
+paper itself mixes ``'rdf:type'`` (quoted) with ``<singer>`` (angled).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple
+
+from repro.errors import SparqlSyntaxError
+from repro.kg.pattern import TriplePattern, Variable
+from repro.query.query import TriplePatternQuery
+
+
+class _Token(NamedTuple):
+    kind: str
+    value: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<LBRACE>\{)
+  | (?P<RBRACE>\})
+  | (?P<DOT>\.(?!\w))
+  | (?P<STAR>\*)
+  | (?P<VAR>\?[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<ANGLED><[^<>\s]+>)
+  | (?P<SQUOTED>'[^']*')
+  | (?P<DQUOTED>"[^"]*")
+  | (?P<BARE>[^\s{}'"<>]+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SparqlSyntaxError(
+                f"unexpected character {text[position]!r}", position
+            )
+        kind = match.lastgroup or ""
+        if kind != "WS":
+            yield _Token(kind, match.group(), position)
+        position = match.end()
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = list(_tokenize(text))
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    def _peek(self) -> _Token | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self, expected: str | None = None) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise SparqlSyntaxError("unexpected end of query", len(self._text))
+        if expected is not None and token.kind != expected:
+            raise SparqlSyntaxError(
+                f"expected {expected}, got {token.value!r}", token.position
+            )
+        self._pos += 1
+        return token
+
+    def _expect_keyword(self, keyword: str) -> None:
+        token = self._next()
+        if token.kind != "BARE" or token.value.upper() != keyword:
+            raise SparqlSyntaxError(
+                f"expected keyword {keyword}, got {token.value!r}", token.position
+            )
+
+    # ------------------------------------------------------------------
+    def parse(self) -> TriplePatternQuery:
+        self._expect_keyword("SELECT")
+        projection = self._parse_projection()
+        self._expect_keyword("WHERE")
+        self._next("LBRACE")
+        patterns = self._parse_body()
+        self._next("RBRACE")
+        trailing = self._peek()
+        if trailing is not None:
+            raise SparqlSyntaxError(
+                f"trailing input after query: {trailing.value!r}", trailing.position
+            )
+        if projection is None:  # SELECT *
+            return TriplePatternQuery(patterns)
+        return TriplePatternQuery(patterns, projection)
+
+    def _parse_projection(self) -> list[Variable] | None:
+        token = self._peek()
+        if token is None:
+            raise SparqlSyntaxError("unexpected end of query", len(self._text))
+        if token.kind == "STAR":
+            self._next()
+            return None
+        variables: list[Variable] = []
+        while True:
+            token = self._peek()
+            if token is None or token.kind != "VAR":
+                break
+            self._next()
+            variables.append(Variable(token.value[1:]))
+        if not variables:
+            raise SparqlSyntaxError(
+                "projection must be '*' or one or more variables",
+                token.position if token else len(self._text),
+            )
+        return variables
+
+    def _parse_body(self) -> list[TriplePattern]:
+        patterns: list[TriplePattern] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                raise SparqlSyntaxError("unterminated WHERE block", len(self._text))
+            if token.kind == "RBRACE":
+                break
+            patterns.append(self._parse_pattern())
+            token = self._peek()
+            if token is not None and token.kind == "DOT":
+                self._next()
+        if not patterns:
+            raise SparqlSyntaxError("empty WHERE block", len(self._text))
+        return patterns
+
+    def _parse_pattern(self) -> TriplePattern:
+        terms = [self._parse_term() for _ in range(3)]
+        return TriplePattern(*terms)
+
+    def _parse_term(self) -> str | Variable:
+        token = self._next()
+        if token.kind == "VAR":
+            return Variable(token.value[1:])
+        if token.kind == "ANGLED":
+            return token.value[1:-1]
+        if token.kind in ("SQUOTED", "DQUOTED"):
+            inner = token.value[1:-1]
+            if not inner:
+                raise SparqlSyntaxError("empty quoted term", token.position)
+            return inner
+        if token.kind == "BARE":
+            if token.value.upper() in ("SELECT", "WHERE"):
+                raise SparqlSyntaxError(
+                    f"keyword {token.value!r} found where a term was expected",
+                    token.position,
+                )
+            return token.value
+        raise SparqlSyntaxError(
+            f"expected a term, got {token.value!r}", token.position
+        )
+
+
+def parse_sparql(text: str) -> TriplePatternQuery:
+    """Parse *text* into a :class:`TriplePatternQuery`.
+
+    >>> q = parse_sparql("SELECT ?s WHERE { ?s 'rdf:type' <singer> }")
+    >>> len(q)
+    1
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise SparqlSyntaxError("query text must be a non-empty string")
+    return _Parser(text).parse()
+
+
+def format_sparql(query: TriplePatternQuery, indent: str = "  ") -> str:
+    """Pretty-print *query* in the paper's style."""
+
+    def term(t: object) -> str:
+        if isinstance(t, Variable):
+            return str(t)
+        return f"<{t}>"
+
+    lines = [f"SELECT {' '.join(str(v) for v in query.projection)} WHERE{{"]
+    body = [
+        f"{indent}{term(p.subject)} {term(p.predicate)} {term(p.object)}"
+        for p in query.patterns
+    ]
+    lines.append(".\n".join(body))
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Chain relaxations — the paper's §6 future-work extension.
+
+"As future work, we would like to generate and use more complicated
+relaxations for the queries like replacing a triple pattern with a chain
+of triple patterns."
+
+A :class:`ChainRelaxationRule` relaxes one triple pattern into a
+*connected chain* of patterns sharing the original's variables, e.g.
+
+    ⟨?s bornIn  city⟩   ~>   ⟨?s bornIn ?m⟩ . ⟨?m locatedIn city⟩
+
+with a weight discount, introducing fresh intermediate variables (``?m``)
+that are projected away from answers.  Chains participate in execution as
+additional Incremental Merge inputs (see
+:class:`repro.operators.chain_scan.ChainScan`); the speculative planner
+treats a pattern with chain rules like any other relaxable pattern in
+that the chains are processed only when the pattern is relaxed.
+
+Chain-match scores are the *average* of the member triples' normalised
+scores, times the rule weight — keeping every chain match in ``[0, w]``
+so the §3.2.1 invariant ("the top score of a relaxation equals its
+weight") continues to hold approximately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import RelaxationError
+from repro.kg.pattern import TriplePattern, Variable
+
+
+@dataclass(frozen=True)
+class ChainRelaxationRule:
+    """``(domain, chain, weight)`` with structural validation.
+
+    The chain must (a) have ≥ 2 patterns, (b) collectively use every
+    variable of the domain, (c) be connected through shared variables,
+    and (d) introduce at least one fresh intermediate variable (otherwise
+    it is just a conjunction rewrite, not a chain).
+    """
+
+    domain: TriplePattern
+    chain: tuple[TriplePattern, ...]
+    weight: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.weight <= 1.0:
+            raise RelaxationError(
+                f"chain relaxation weight must be in (0, 1], got {self.weight}"
+            )
+        if len(self.chain) < 2:
+            raise RelaxationError("a chain needs at least two patterns")
+        domain_vars = set(self.domain.variable_names)
+        chain_vars: set[str] = set()
+        for pattern in self.chain:
+            chain_vars.update(pattern.variable_names)
+        if not domain_vars <= chain_vars:
+            missing = ", ".join(sorted(domain_vars - chain_vars))
+            raise RelaxationError(
+                f"chain must bind all domain variables; missing: {missing}"
+            )
+        if not chain_vars - domain_vars:
+            raise RelaxationError(
+                "chain must introduce at least one intermediate variable"
+            )
+        if not self._is_connected():
+            raise RelaxationError("chain patterns must be variable-connected")
+
+    def _is_connected(self) -> bool:
+        remaining = set(range(len(self.chain)))
+        frontier = {remaining.pop()}
+        while frontier:
+            current = frontier.pop()
+            for other in list(remaining):
+                if self.chain[current].shares_variable_with(self.chain[other]):
+                    remaining.discard(other)
+                    frontier.add(other)
+        return not remaining
+
+    @property
+    def intermediate_variables(self) -> tuple[str, ...]:
+        """Fresh variables the chain introduces (projected from answers)."""
+        domain_vars = set(self.domain.variable_names)
+        seen: dict[str, None] = {}
+        for pattern in self.chain:
+            for name in pattern.variable_names:
+                if name not in domain_vars:
+                    seen.setdefault(name)
+        return tuple(seen)
+
+    def rename_to(self, domain: TriplePattern) -> "ChainRelaxationRule":
+        """Re-express the rule with *domain*'s variable names (positional),
+        keeping intermediate variables untouched."""
+        if domain.key() != self.domain.key():
+            raise RelaxationError(
+                f"cannot retarget chain rule for key {self.domain.key()} "
+                f"onto pattern with key {domain.key()}"
+            )
+        mapping: dict[str, str] = {}
+        for stored_term, new_term in zip(self.domain.terms, domain.terms):
+            if isinstance(stored_term, Variable) and isinstance(new_term, Variable):
+                mapping[stored_term.name] = new_term.name
+        renamed_chain = tuple(p.rename(mapping) for p in self.chain)
+        return ChainRelaxationRule(domain, renamed_chain, self.weight)
+
+    def __str__(self) -> str:
+        chain_text = " . ".join(str(p) for p in self.chain)
+        return f"({self.domain}  ~>  {chain_text}, w={self.weight:.3f})"
+
+
+class ChainRuleSet:
+    """Chain rules indexed by domain-pattern key (variable-name agnostic)."""
+
+    def __init__(self, rules: Iterable[ChainRelaxationRule] | None = None) -> None:
+        self._by_key: dict[
+            tuple[str | None, str | None, str | None], list[ChainRelaxationRule]
+        ] = {}
+        self._count = 0
+        if rules is not None:
+            for rule in rules:
+                self.add(rule)
+
+    def add(self, rule: ChainRelaxationRule) -> None:
+        bucket = self._by_key.setdefault(rule.domain.key(), [])
+        for i, existing in enumerate(bucket):
+            if tuple(p.key() for p in existing.chain) == tuple(
+                p.key() for p in rule.chain
+            ):
+                bucket[i] = rule
+                return
+        bucket.append(rule)
+        bucket.sort(key=lambda r: (-r.weight, tuple(p.key() for p in r.chain)))
+        self._count += 1
+
+    def for_pattern(self, pattern: TriplePattern) -> list[ChainRelaxationRule]:
+        stored = self._by_key.get(pattern.key(), [])
+        return [rule.rename_to(pattern) for rule in stored]
+
+    def has_rules_for(self, pattern: TriplePattern) -> bool:
+        return bool(self._by_key.get(pattern.key()))
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[ChainRelaxationRule]:
+        for bucket in self._by_key.values():
+            yield from bucket
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ChainRuleSet({self._count} rules)"

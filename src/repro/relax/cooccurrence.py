@@ -1,0 +1,120 @@
+"""Co-occurrence based relaxation mining — the paper's Twitter scheme.
+
+§4.2: for the Twitter dataset the relaxation ``r = (T1, T2, w)`` gets
+
+    w = #tweets_having_T1_and_T2 / #tweets_having_T1
+
+This module computes those weights from any KG whose triples have the
+shape ``⟨group, predicate, item⟩`` — for tweets, ``⟨tID, hasTag, term⟩``:
+two items co-occur when they appear under the same group (tweet).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.errors import RelaxationError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pattern import TriplePattern, Variable
+from repro.relax.rules import RelaxationRule, RuleSet
+
+
+class CooccurrenceIndex:
+    """Counts item occurrences and pairwise co-occurrences under groups.
+
+    Built from a KG restricted to one predicate (``hasTag`` for Twitter).
+    Memory grows with the number of distinct co-occurring pairs, which is
+    fine at reproduction scale; a production system would sketch this.
+    """
+
+    def __init__(self, graph: KnowledgeGraph, predicate: str) -> None:
+        self.predicate = predicate
+        groups: dict[str, set[str]] = defaultdict(set)
+        for triple in graph.triples():
+            if triple.predicate == predicate:
+                groups[triple.subject].add(triple.object)
+        self._item_counts: dict[str, int] = defaultdict(int)
+        self._pair_counts: dict[tuple[str, str], int] = defaultdict(int)
+        for items in groups.values():
+            ordered = sorted(items)
+            for i, item in enumerate(ordered):
+                self._item_counts[item] += 1
+                for other in ordered[i + 1:]:
+                    self._pair_counts[(item, other)] += 1
+        self.n_groups = len(groups)
+
+    def count(self, item: str) -> int:
+        """#groups containing *item*."""
+        return self._item_counts.get(item, 0)
+
+    def pair_count(self, item_a: str, item_b: str) -> int:
+        """#groups containing both items (order-insensitive)."""
+        if item_a == item_b:
+            return self.count(item_a)
+        key = (item_a, item_b) if item_a < item_b else (item_b, item_a)
+        return self._pair_counts.get(key, 0)
+
+    def weight(self, from_item: str, to_item: str) -> float:
+        """``#groups(T1 ∧ T2) / #groups(T1)`` — note the asymmetry."""
+        denominator = self.count(from_item)
+        if denominator == 0:
+            return 0.0
+        return self.pair_count(from_item, to_item) / denominator
+
+    def neighbours(self, item: str) -> list[tuple[str, float]]:
+        """Items co-occurring with *item*, with weights, best first."""
+        results: list[tuple[str, float]] = []
+        count = self.count(item)
+        if count == 0:
+            return results
+        for (a, b), pair_count in self._pair_counts.items():
+            if a == item:
+                results.append((b, pair_count / count))
+            elif b == item:
+                results.append((a, pair_count / count))
+        results.sort(key=lambda pair: (-pair[1], pair[0]))
+        return results
+
+    def items(self) -> list[str]:
+        return sorted(self._item_counts)
+
+
+def mine_cooccurrence_rules(
+    graph: KnowledgeGraph,
+    predicate: str,
+    min_weight: float = 0.05,
+    max_rules_per_item: int = 20,
+    items: Iterable[str] | None = None,
+    subject_var: str = "s",
+) -> RuleSet:
+    """Mine Twitter-style relaxation rules for object constants.
+
+    For every item ``T1`` (all objects of *predicate*, or just *items*),
+    emit rules relaxing ``⟨?s predicate T1⟩`` to ``⟨?s predicate T2⟩``
+    with weight ``#groups(T1∧T2)/#groups(T1)``, keeping weights in
+    ``[min_weight, 1)`` and at most *max_rules_per_item* best rules.
+    """
+    if not 0.0 <= min_weight < 1.0:
+        raise RelaxationError(f"min_weight must be in [0, 1), got {min_weight}")
+    index = CooccurrenceIndex(graph, predicate)
+    targets = sorted(items) if items is not None else index.items()
+    variable = Variable(subject_var)
+    rules = RuleSet()
+    for item in targets:
+        domain = TriplePattern(variable, predicate, item)
+        kept = 0
+        for other, weight in index.neighbours(item):
+            if kept >= max_rules_per_item:
+                break
+            if weight < min_weight or weight >= 1.0 or other == item:
+                continue
+            rules.add(
+                RelaxationRule(
+                    domain=domain,
+                    range=TriplePattern(variable, predicate, other),
+                    weight=weight,
+                )
+            )
+            kept += 1
+    return rules

@@ -1,0 +1,61 @@
+"""Relaxation-space introspection.
+
+Utilities the planner, datasets and reports use to reason about how big a
+query's relaxation space is and which patterns are relaxable at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kg.pattern import TriplePattern
+from repro.query.query import TriplePatternQuery
+from repro.relax.rules import RuleSet
+
+
+@dataclass(frozen=True)
+class PatternRelaxability:
+    """Per-pattern relaxation-space summary."""
+
+    pattern: TriplePattern
+    n_rules: int
+    best_weight: float  # 0.0 when no rules exist
+
+    @property
+    def relaxable(self) -> bool:
+        return self.n_rules > 0
+
+
+@dataclass(frozen=True)
+class SpaceSummary:
+    """Summary of a query's full relaxation space."""
+
+    per_pattern: tuple[PatternRelaxability, ...]
+    total_variants: int  # includes the original query
+
+    @property
+    def n_relaxable_patterns(self) -> int:
+        return sum(1 for p in self.per_pattern if p.relaxable)
+
+    @property
+    def max_weight_product(self) -> float:
+        """Weight of the single best fully-relaxed variant (product of the
+        best weights of the relaxable patterns)."""
+        product = 1.0
+        for p in self.per_pattern:
+            if p.relaxable:
+                product *= p.best_weight
+        return product
+
+
+def summarize(query: TriplePatternQuery, rules: RuleSet) -> SpaceSummary:
+    """Compute the :class:`SpaceSummary` for *query* under *rules*."""
+    per_pattern: list[PatternRelaxability] = []
+    total = 1
+    for pattern in query.patterns:
+        applicable = rules.for_pattern(pattern)
+        n_rules = len(applicable)
+        best = applicable[0].weight if applicable else 0.0
+        per_pattern.append(PatternRelaxability(pattern, n_rules, best))
+        total *= 1 + n_rules
+    return SpaceSummary(tuple(per_pattern), total)

@@ -1,0 +1,26 @@
+"""Statistics substrate for the expected-score estimator (§3.1).
+
+* :mod:`~repro.stats.piecewise` — piecewise-constant/linear densities with
+  exact convolution, cdf inversion and partial expectations.
+* :mod:`~repro.stats.histogram` — the paper's two-bucket score-mass
+  histograms (plus an n-bucket generalisation for the §4.5.2 ablation).
+* :mod:`~repro.stats.order_statistics` — ``E[X_(i)] ≈ F⁻¹(i/(m+1))``.
+* :mod:`~repro.stats.selectivity` — exact join cardinalities (the paper's
+  footnote-3 choice) plus independence-assumption estimates.
+* :mod:`~repro.stats.catalog` — per-pattern statistics catalog consumed by
+  the planner.
+"""
+
+from repro.stats.catalog import StatisticsCatalog
+from repro.stats.histogram import NBucketHistogram, TwoBucketHistogram
+from repro.stats.piecewise import PiecewiseConstantDensity, PiecewiseLinearDensity
+from repro.stats.selectivity import JoinCardinalityEstimator
+
+__all__ = [
+    "JoinCardinalityEstimator",
+    "NBucketHistogram",
+    "PiecewiseConstantDensity",
+    "PiecewiseLinearDensity",
+    "StatisticsCatalog",
+    "TwoBucketHistogram",
+]

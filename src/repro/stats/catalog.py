@@ -1,0 +1,145 @@
+"""The precomputed-statistics catalog the planner consumes (§3.1.1).
+
+For every triple pattern (keyed structurally, so variable names are
+irrelevant) the catalog stores the paper's four values and the fitted
+histogram.  It also owns the join-cardinality estimator.  Building the
+catalog is the "offline" phase; :class:`repro.core.planner.SpecQPPlanner`
+only reads from it at plan time.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+from repro.errors import StatisticsError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pattern import TriplePattern
+from repro.query.query import TriplePatternQuery
+from repro.stats.histogram import (
+    DEFAULT_MASS_FRACTION,
+    NBucketHistogram,
+    PatternStats,
+    TwoBucketHistogram,
+    stats_from_scores,
+)
+from repro.stats.selectivity import JoinCardinalityEstimator, SelectivityMode
+
+HistogramKind = Literal["two-bucket", "n-bucket"]
+
+
+class StatisticsCatalog:
+    """Per-pattern score statistics plus join cardinalities.
+
+    Parameters
+    ----------
+    graph:
+        The knowledge graph to summarise.
+    mass_fraction:
+        The score-mass fraction defining the bucket boundary (0.8 in the
+        paper's 80/20 rule).
+    histogram_kind / n_buckets:
+        ``"two-bucket"`` reproduces the paper; ``"n-bucket"`` enables the
+        §4.5.2 multi-bucket ablation.
+    selectivity_mode:
+        ``"exact"`` (paper's footnote 3) or ``"independence"``.
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        mass_fraction: float = DEFAULT_MASS_FRACTION,
+        histogram_kind: HistogramKind = "two-bucket",
+        n_buckets: int = 4,
+        selectivity_mode: SelectivityMode = "exact",
+    ) -> None:
+        if histogram_kind not in ("two-bucket", "n-bucket"):
+            raise StatisticsError(f"unknown histogram kind {histogram_kind!r}")
+        self._graph = graph
+        self.mass_fraction = mass_fraction
+        self.histogram_kind = histogram_kind
+        self.n_buckets = n_buckets
+        self.cardinalities = JoinCardinalityEstimator(graph, selectivity_mode)
+        self._stats: dict[tuple[str | None, str | None, str | None], PatternStats] = {}
+        self._histograms: dict[
+            tuple[str | None, str | None, str | None],
+            TwoBucketHistogram | NBucketHistogram,
+        ] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> KnowledgeGraph:
+        return self._graph
+
+    def pattern_stats(self, pattern: TriplePattern) -> PatternStats:
+        """The four stored values (m, σ_r, S_r, S_m) for *pattern*."""
+        key = pattern.key()
+        cached = self._stats.get(key)
+        if cached is None:
+            match_list = self._graph.match_list(pattern)
+            cached = stats_from_scores(
+                match_list.normalized_scores, self.mass_fraction
+            )
+            self._stats[key] = cached
+        return cached
+
+    def histogram(
+        self, pattern: TriplePattern
+    ) -> TwoBucketHistogram | NBucketHistogram:
+        """The fitted score-distribution histogram for *pattern*."""
+        key = pattern.key()
+        cached = self._histograms.get(key)
+        if cached is None:
+            match_list = self._graph.match_list(pattern)
+            if self.histogram_kind == "two-bucket":
+                cached = TwoBucketHistogram.from_stats(self.pattern_stats(pattern))
+            else:
+                cached = NBucketHistogram.from_scores(
+                    match_list.normalized_scores, self.n_buckets
+                )
+            self._histograms[key] = cached
+        return cached
+
+    def match_count(self, pattern: TriplePattern) -> int:
+        """``m_i`` for *pattern*."""
+        return self.pattern_stats(pattern).m
+
+    def cardinality(self, query: TriplePatternQuery) -> int:
+        """(Estimated) answer count of *query*."""
+        return self.cardinalities.cardinality(query)
+
+    # ------------------------------------------------------------------
+    def precompute(
+        self,
+        patterns: Sequence[TriplePattern] = (),
+        queries: Sequence[TriplePatternQuery] = (),
+    ) -> dict[str, int]:
+        """Warm all caches for a workload (the offline phase).
+
+        Returns a small summary dict for logging/tests.
+        """
+        for pattern in patterns:
+            self.histogram(pattern)
+        if queries:
+            for query in queries:
+                for pattern in query.patterns:
+                    self.histogram(pattern)
+            self.cardinalities.precompute(list(queries))
+        return {
+            "patterns": len(self._histograms),
+            "cardinality_cache": self.cardinalities.cache_size,
+        }
+
+    def invalidate(self) -> None:
+        """Drop all cached statistics (after graph mutation)."""
+        self._stats.clear()
+        self._histograms.clear()
+        self.cardinalities = JoinCardinalityEstimator(
+            self._graph, self.cardinalities.mode
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StatisticsCatalog({self.histogram_kind}, "
+            f"mass_fraction={self.mass_fraction}, "
+            f"patterns={len(self._histograms)})"
+        )

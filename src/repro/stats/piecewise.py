@@ -1,0 +1,439 @@
+"""Piecewise densities with exact convolution.
+
+The paper models each triple pattern's score distribution as a two-bucket
+histogram (a piecewise-*constant* density) and builds the query-level
+distribution as the convolution of the per-pattern densities (§3.1.2).
+The convolution of two piecewise-constant densities is piecewise *linear*
+(a sum of trapezoids, one per bucket pair), which this module computes
+analytically — no sampling, no grids.
+
+Both density classes share the operations the estimator needs:
+
+``mass()``        total probability mass (≈ 1 after normalisation)
+``cdf(x)``        cumulative distribution
+``inverse_cdf(p)`` quantile function (used by the order-statistics rule)
+``mean()``        expectation
+``partial_expectation(c)``  ``∫_c^∞ t·f(t) dt`` — the *score mass* above
+                  ``c``, which drives the two-bucket refit
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import HistogramError
+
+#: Widths below this are treated as point masses when convolving.
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """A uniform-density piece: probability *mass* spread over [lo, hi)."""
+
+    lo: float
+    hi: float
+    mass: float
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.lo) and math.isfinite(self.hi)):
+            raise HistogramError("bucket bounds must be finite")
+        if self.hi < self.lo:
+            raise HistogramError(f"bucket hi < lo: [{self.lo}, {self.hi})")
+        if self.mass < 0:
+            raise HistogramError(f"bucket mass must be >= 0, got {self.mass}")
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    @property
+    def density(self) -> float:
+        if self.width <= _EPS:
+            return math.inf if self.mass > 0 else 0.0
+        return self.mass / self.width
+
+
+class PiecewiseConstantDensity:
+    """A density made of uniform buckets (a histogram's pdf).
+
+    Buckets must be sorted, non-overlapping, with non-negative masses and
+    at least one bucket of positive mass.  Masses need not sum to 1; use
+    :meth:`normalized` to rescale.
+    """
+
+    def __init__(self, buckets: Sequence[Bucket]) -> None:
+        buckets = [b for b in buckets if b.mass > 0 or b.width > 0]
+        if not buckets:
+            raise HistogramError("density needs at least one bucket")
+        for left, right in zip(buckets, buckets[1:]):
+            if right.lo < left.hi - _EPS:
+                raise HistogramError(
+                    f"buckets overlap: [{left.lo}, {left.hi}) and "
+                    f"[{right.lo}, {right.hi})"
+                )
+        self.buckets = tuple(buckets)
+        self._cum: list[float] = []
+        running = 0.0
+        for bucket in self.buckets:
+            running += bucket.mass
+            self._cum.append(running)
+
+    # ------------------------------------------------------------------
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.buckets[0].lo, self.buckets[-1].hi)
+
+    def mass(self) -> float:
+        return self._cum[-1]
+
+    def normalized(self) -> "PiecewiseConstantDensity":
+        total = self.mass()
+        if total <= 0:
+            raise HistogramError("cannot normalise a zero-mass density")
+        if abs(total - 1.0) < 1e-12:
+            return self
+        return PiecewiseConstantDensity(
+            [Bucket(b.lo, b.hi, b.mass / total) for b in self.buckets]
+        )
+
+    def scaled(self, factor: float) -> "PiecewiseConstantDensity":
+        """Scale the *domain* by ``factor > 0`` (X → factor·X).
+
+        Masses are preserved.  This is how a relaxation weight ``w`` is
+        applied to a pattern's score distribution: relaxed scores are
+        ``w · S(t|q')``, i.e. the density's support shrinks by ``w``.
+        """
+        if factor <= 0:
+            raise HistogramError(f"scale factor must be > 0, got {factor}")
+        return PiecewiseConstantDensity(
+            [Bucket(b.lo * factor, b.hi * factor, b.mass) for b in self.buckets]
+        )
+
+    # ------------------------------------------------------------------
+    def pdf(self, x: float) -> float:
+        for bucket in self.buckets:
+            if bucket.lo <= x < bucket.hi:
+                return bucket.density
+        if self.buckets and x == self.buckets[-1].hi:
+            return self.buckets[-1].density
+        return 0.0
+
+    def cdf(self, x: float) -> float:
+        total = 0.0
+        for bucket in self.buckets:
+            if bucket.width <= _EPS:
+                # Point mass at bucket.lo.
+                if x >= bucket.lo:
+                    total += bucket.mass
+                else:
+                    break
+            elif x >= bucket.hi:
+                total += bucket.mass
+            elif x > bucket.lo:
+                total += bucket.mass * (x - bucket.lo) / bucket.width
+                break
+            else:
+                break
+        return total
+
+    def inverse_cdf(self, p: float) -> float:
+        """Smallest ``x`` with ``cdf(x) >= p`` (p clamped to [0, mass])."""
+        total = self.mass()
+        p = min(max(p, 0.0), total)
+        idx = bisect.bisect_left(self._cum, p - 1e-15)
+        if idx >= len(self.buckets):
+            return self.buckets[-1].hi
+        bucket = self.buckets[idx]
+        prior = self._cum[idx] - bucket.mass
+        within = p - prior
+        if bucket.mass <= _EPS or bucket.width <= _EPS:
+            return bucket.lo
+        return bucket.lo + bucket.width * (within / bucket.mass)
+
+    def mean(self) -> float:
+        return sum(b.mass * (b.lo + b.hi) / 2.0 for b in self.buckets)
+
+    def partial_expectation(self, c: float) -> float:
+        """``∫_c^∞ t f(t) dt`` — expected score mass above ``c``."""
+        total = 0.0
+        for bucket in self.buckets:
+            lo = max(bucket.lo, c)
+            if lo >= bucket.hi:
+                if bucket.width <= _EPS and bucket.lo >= c:
+                    total += bucket.mass * bucket.lo
+                continue
+            if bucket.width <= _EPS:
+                total += bucket.mass * bucket.lo
+                continue
+            total += bucket.density * (bucket.hi**2 - lo**2) / 2.0
+        return total
+
+    def to_linear(self) -> "PiecewiseLinearDensity":
+        segments = []
+        for bucket in self.buckets:
+            if bucket.width <= _EPS:
+                continue
+            segments.append(
+                Segment(bucket.lo, bucket.hi, bucket.density, bucket.density)
+            )
+        if not segments:
+            # All point masses; widen minimally so downstream code works.
+            lo = self.buckets[0].lo
+            total = self.mass()
+            segments = [Segment(lo, lo + _EPS, total / _EPS, total / _EPS)]
+        return PiecewiseLinearDensity(segments)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(
+            f"[{b.lo:.3g},{b.hi:.3g}):{b.mass:.3g}" for b in self.buckets
+        )
+        return f"PiecewiseConstantDensity({inner})"
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A linear density piece: ``f`` interpolates ``y_lo → y_hi`` on [lo, hi)."""
+
+    lo: float
+    hi: float
+    y_lo: float
+    y_hi: float
+
+    def __post_init__(self) -> None:
+        if self.hi <= self.lo:
+            raise HistogramError(f"segment needs hi > lo, got [{self.lo}, {self.hi})")
+        if self.y_lo < -1e-9 or self.y_hi < -1e-9:
+            raise HistogramError("segment density must be non-negative")
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    @property
+    def slope(self) -> float:
+        return (self.y_hi - self.y_lo) / self.width
+
+    @property
+    def mass(self) -> float:
+        return (self.y_lo + self.y_hi) / 2.0 * self.width
+
+    def value_at(self, x: float) -> float:
+        return self.y_lo + self.slope * (x - self.lo)
+
+    def mass_up_to(self, x: float) -> float:
+        """``∫_lo^x f`` for ``x`` within the segment."""
+        dx = x - self.lo
+        return self.y_lo * dx + self.slope * dx * dx / 2.0
+
+    def score_mass_from(self, c: float) -> float:
+        """``∫_max(c,lo)^hi t f(t) dt`` with ``f(t) = α + β t``."""
+        lo = max(c, self.lo)
+        if lo >= self.hi:
+            return 0.0
+        beta = self.slope
+        alpha = self.y_lo - beta * self.lo
+        upper = alpha * self.hi**2 / 2.0 + beta * self.hi**3 / 3.0
+        lower = alpha * lo**2 / 2.0 + beta * lo**3 / 3.0
+        return upper - lower
+
+
+class PiecewiseLinearDensity:
+    """A density made of linear pieces — the result of convolving two
+    piecewise-constant densities."""
+
+    def __init__(self, segments: Sequence[Segment]) -> None:
+        if not segments:
+            raise HistogramError("density needs at least one segment")
+        ordered = sorted(segments, key=lambda s: s.lo)
+        for left, right in zip(ordered, ordered[1:]):
+            if right.lo < left.hi - 1e-9:
+                raise HistogramError("segments overlap")
+        self.segments = tuple(ordered)
+        self._cum: list[float] = []
+        running = 0.0
+        for segment in self.segments:
+            running += segment.mass
+            self._cum.append(running)
+
+    # ------------------------------------------------------------------
+    @property
+    def support(self) -> tuple[float, float]:
+        return (self.segments[0].lo, self.segments[-1].hi)
+
+    def mass(self) -> float:
+        return self._cum[-1]
+
+    def normalized(self) -> "PiecewiseLinearDensity":
+        total = self.mass()
+        if total <= 0:
+            raise HistogramError("cannot normalise a zero-mass density")
+        if abs(total - 1.0) < 1e-12:
+            return self
+        return PiecewiseLinearDensity(
+            [
+                Segment(s.lo, s.hi, s.y_lo / total, s.y_hi / total)
+                for s in self.segments
+            ]
+        )
+
+    def pdf(self, x: float) -> float:
+        for segment in self.segments:
+            if segment.lo <= x < segment.hi:
+                return segment.value_at(x)
+        if x == self.segments[-1].hi:
+            return self.segments[-1].y_hi
+        return 0.0
+
+    def cdf(self, x: float) -> float:
+        total = 0.0
+        for segment in self.segments:
+            if x >= segment.hi:
+                total += segment.mass
+            elif x > segment.lo:
+                total += segment.mass_up_to(x)
+                break
+            else:
+                break
+        return total
+
+    def inverse_cdf(self, p: float) -> float:
+        total = self.mass()
+        p = min(max(p, 0.0), total)
+        idx = bisect.bisect_left(self._cum, p - 1e-15)
+        if idx >= len(self.segments):
+            return self.segments[-1].hi
+        segment = self.segments[idx]
+        prior = self._cum[idx] - segment.mass
+        target = p - prior
+        if segment.mass <= _EPS:
+            return segment.lo
+        # Solve y_lo*d + slope*d^2/2 = target for d = x - lo.
+        slope = segment.slope
+        if abs(slope) < 1e-15:
+            d = target / segment.y_lo if segment.y_lo > 0 else 0.0
+        else:
+            a = slope / 2.0
+            b = segment.y_lo
+            disc = b * b + 4.0 * a * target
+            if disc < 0:
+                disc = 0.0
+            d = (-b + math.sqrt(disc)) / (2.0 * a)
+            if d < 0 or d > segment.width + 1e-9:
+                d = (-b - math.sqrt(disc)) / (2.0 * a)
+        return segment.lo + min(max(d, 0.0), segment.width)
+
+    def mean(self) -> float:
+        return self.partial_expectation(self.support[0])
+
+    def partial_expectation(self, c: float) -> float:
+        return sum(segment.score_mass_from(c) for segment in self.segments)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lo, hi = self.support
+        return (
+            f"PiecewiseLinearDensity({len(self.segments)} segments on "
+            f"[{lo:.3g}, {hi:.3g}], mass={self.mass():.4f})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Convolution
+# ----------------------------------------------------------------------
+def _trapezoid_breaks(b1: Bucket, b2: Bucket) -> tuple[float, float, float, float, float]:
+    """Breakpoints (lo, p1, p2, hi) and peak height of the convolution of
+    two unit-mass uniforms (scaled later by the bucket masses)."""
+    lo = b1.lo + b2.lo
+    hi = b1.hi + b2.hi
+    w_min = min(b1.width, b2.width)
+    w_max = max(b1.width, b2.width)
+    p1 = lo + w_min
+    p2 = hi - w_min
+    peak = 1.0 / w_max if w_max > _EPS else 0.0
+    return lo, p1, p2, hi, peak
+
+
+def _trapezoid_value(z: float, b1: Bucket, b2: Bucket) -> float:
+    """Density of (U1 + U2) at z for unit masses, times the bucket masses."""
+    mass = b1.mass * b2.mass
+    if mass <= 0:
+        return 0.0
+    w1, w2 = b1.width, b2.width
+    if w1 <= _EPS and w2 <= _EPS:
+        return 0.0  # point mass handled separately
+    if w1 <= _EPS:
+        return mass / w2 if b1.lo + b2.lo <= z <= b1.lo + b2.hi else 0.0
+    if w2 <= _EPS:
+        return mass / w1 if b1.lo + b2.lo <= z <= b1.hi + b2.lo else 0.0
+    lo, p1, p2, hi, peak = _trapezoid_breaks(b1, b2)
+    if z <= lo or z >= hi:
+        return 0.0
+    if z < p1:
+        return mass * peak * (z - lo) / (p1 - lo)
+    if z <= p2:
+        return mass * peak
+    return mass * peak * (hi - z) / (hi - p2)
+
+
+def convolve(
+    d1: PiecewiseConstantDensity, d2: PiecewiseConstantDensity
+) -> PiecewiseLinearDensity:
+    """Exact convolution of two piecewise-constant densities.
+
+    Each pair of buckets contributes a trapezoid; their sum is piecewise
+    linear with breakpoints at every trapezoid corner.  The result is
+    normalised to total mass ``d1.mass() * d2.mass()``.
+    """
+    def _widened(bucket: Bucket) -> Bucket:
+        # A point-mass-like bucket is widened to a sliver so every pair
+        # contributes a proper (if extremely tall) trapezoid; the widening
+        # shifts means by at most _EPS/2.
+        if bucket.width <= _EPS and bucket.mass > 0:
+            return Bucket(bucket.lo, bucket.lo + _EPS, bucket.mass)
+        return bucket
+
+    breaks: set[float] = set()
+    pairs: list[tuple[Bucket, Bucket]] = []
+    for b1 in map(_widened, d1.buckets):
+        for b2 in map(_widened, d2.buckets):
+            if b1.mass <= 0 or b2.mass <= 0:
+                continue
+            pairs.append((b1, b2))
+            lo, p1, p2, hi, _ = _trapezoid_breaks(b1, b2)
+            breaks.update((lo, p1, p2, hi))
+    if not pairs:
+        raise HistogramError("cannot convolve zero-mass densities")
+
+    xs = sorted(breaks)
+    merged: list[float] = []
+    for x in xs:
+        if not merged or x - merged[-1] > 1e-12:
+            merged.append(x)
+    if len(merged) < 2:
+        merged.append(merged[0] + _EPS)
+
+    segments: list[Segment] = []
+    for lo, hi in zip(merged, merged[1:]):
+        mid_lo = lo + (hi - lo) * 1e-9
+        mid_hi = hi - (hi - lo) * 1e-9
+        y_lo = sum(_trapezoid_value(mid_lo, b1, b2) for b1, b2 in pairs)
+        y_hi = sum(_trapezoid_value(mid_hi, b1, b2) for b1, b2 in pairs)
+        segments.append(Segment(lo, hi, max(y_lo, 0.0), max(y_hi, 0.0)))
+
+    result = PiecewiseLinearDensity(segments)
+    target_mass = d1.mass() * d2.mass()
+    actual = result.mass()
+    if actual <= 0:
+        raise HistogramError("convolution produced a zero-mass density")
+    if abs(actual - target_mass) > 1e-9:
+        factor = target_mass / actual
+        result = PiecewiseLinearDensity(
+            [
+                Segment(s.lo, s.hi, s.y_lo * factor, s.y_hi * factor)
+                for s in result.segments
+            ]
+        )
+    return result

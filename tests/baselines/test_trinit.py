@@ -1,0 +1,43 @@
+"""Unit tests for the TriniT baseline engine."""
+
+import pytest
+
+from repro.baselines.trinit import TriniTEngine
+
+
+@pytest.fixture
+def engine(music_graph, music_rules):
+    return TriniTEngine(music_graph, music_rules)
+
+
+class TestTriniT:
+    def test_plan_shape(self, engine, three_pattern_query):
+        plan = engine.plan(three_pattern_query)
+        assert plan.join_group == ()
+        assert plan.singletons == (0, 1, 2)
+
+    def test_produces_sorted_topk(self, engine, three_pattern_query):
+        result = engine.query(three_pattern_query, k=5)
+        scores = list(result.scores)
+        assert scores == sorted(scores, reverse=True)
+        assert len(result.answers) <= 5
+
+    def test_includes_relaxed_answers(self, engine, singer_lyricist_query):
+        result = engine.query(singer_lyricist_query, k=10)
+        names = {a.as_dict()["s"] for a in result.answers}
+        # freddie is not a singer or lyricist but is vocalist+writer,
+        # reachable through both relaxations.
+        assert "freddie" in names
+
+    def test_max_relaxations_cap(self, music_graph, music_rules, singer_lyricist_query):
+        capped = TriniTEngine(music_graph, music_rules, max_relaxations_per_pattern=0)
+        # Cap of 0 is normalised to None by executor contract; use 1.
+        capped = TriniTEngine(music_graph, music_rules, max_relaxations_per_pattern=1)
+        full = TriniTEngine(music_graph, music_rules)
+        capped_result = capped.query(singer_lyricist_query, k=10)
+        full_result = full.query(singer_lyricist_query, k=10)
+        assert capped_result.answer_objects_created <= full_result.answer_objects_created
+
+    def test_memory_accounting_positive(self, engine, singer_lyricist_query):
+        result = engine.query(singer_lyricist_query, k=3)
+        assert result.answer_objects_created > 0

@@ -1,0 +1,141 @@
+"""Shared fixtures: small deterministic graphs, rules and workloads."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets import (
+    TwitterConfig,
+    XKGConfig,
+    generate_twitter,
+    generate_xkg,
+)
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pattern import TriplePattern, Variable
+from repro.query.query import TriplePatternQuery
+from repro.relax.rules import RelaxationRule, RuleSet
+
+VAR_S = Variable("s")
+
+
+@pytest.fixture
+def music_graph() -> KnowledgeGraph:
+    """A small hand-written graph mirroring the paper's running example.
+
+    Entity scores are chosen so every match list has a clear ranking and
+    the exact top-k of small queries can be verified by hand.
+    """
+    kg = KnowledgeGraph(name="music")
+    rows = [
+        # singers
+        ("shakira", "rdf:type", "singer", 100.0),
+        ("beyonce", "rdf:type", "singer", 90.0),
+        ("miley", "rdf:type", "singer", 50.0),
+        ("taher", "rdf:type", "singer", 1.0),
+        # vocalists (overlapping)
+        ("shakira", "rdf:type", "vocalist", 80.0),
+        ("freddie", "rdf:type", "vocalist", 95.0),
+        ("miley", "rdf:type", "vocalist", 40.0),
+        # lyricists
+        ("shakira", "rdf:type", "lyricist", 70.0),
+        ("beyonce", "rdf:type", "lyricist", 60.0),
+        ("dylan", "rdf:type", "lyricist", 99.0),
+        # writers
+        ("dylan", "rdf:type", "writer", 88.0),
+        ("freddie", "rdf:type", "writer", 20.0),
+        ("beyonce", "rdf:type", "writer", 30.0),
+        # guitarists
+        ("dylan", "rdf:type", "guitarist", 77.0),
+        ("freddie", "rdf:type", "guitarist", 55.0),
+        ("shakira", "rdf:type", "guitarist", 33.0),
+        # musicians (broad)
+        ("shakira", "rdf:type", "musician", 60.0),
+        ("beyonce", "rdf:type", "musician", 58.0),
+        ("dylan", "rdf:type", "musician", 90.0),
+        ("freddie", "rdf:type", "musician", 85.0),
+        ("miley", "rdf:type", "musician", 30.0),
+    ]
+    for s, p, o, score in rows:
+        kg.add(s, p, o, score=score)
+    return kg
+
+
+def type_pattern(type_name: str, var: Variable = VAR_S) -> TriplePattern:
+    return TriplePattern(var, "rdf:type", type_name)
+
+
+@pytest.fixture
+def music_rules() -> RuleSet:
+    """Table-1-style relaxations over the music graph."""
+    rules = RuleSet()
+    rules.add(RelaxationRule(type_pattern("singer"), type_pattern("vocalist"), 0.8))
+    rules.add(RelaxationRule(type_pattern("singer"), type_pattern("musician"), 0.5))
+    rules.add(RelaxationRule(type_pattern("lyricist"), type_pattern("writer"), 0.7))
+    rules.add(RelaxationRule(type_pattern("guitarist"), type_pattern("musician"), 0.6))
+    return rules
+
+
+@pytest.fixture
+def singer_lyricist_query() -> TriplePatternQuery:
+    return TriplePatternQuery(
+        (type_pattern("singer"), type_pattern("lyricist")),
+        projection=(VAR_S,),
+        name="singer-lyricist",
+    )
+
+
+@pytest.fixture
+def three_pattern_query() -> TriplePatternQuery:
+    return TriplePatternQuery(
+        (
+            type_pattern("singer"),
+            type_pattern("lyricist"),
+            type_pattern("guitarist"),
+        ),
+        projection=(VAR_S,),
+        name="singer-lyricist-guitarist",
+    )
+
+
+@pytest.fixture
+def random_graph() -> KnowledgeGraph:
+    """A medium random graph for integration-ish unit tests."""
+    rng = random.Random(1234)
+    kg = KnowledgeGraph(name="random")
+    types = [f"type{i}" for i in range(12)]
+    entities = [f"e{i}" for i in range(150)]
+    for type_name in types:
+        for entity in rng.sample(entities, rng.randint(30, 90)):
+            kg.add(entity, "rdf:type", type_name, score=rng.paretovariate(1.3))
+    return kg
+
+
+@pytest.fixture(scope="session")
+def tiny_xkg_workload():
+    """A very small but fully functional XKG workload (session-scoped:
+    generation and stats warming are shared across tests)."""
+    return generate_xkg(
+        XKGConfig(
+            n_domains=4,
+            types_per_domain=12,
+            n_entities=400,
+            n_topics=40,
+            n_queries=12,
+            seed=11,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_twitter_workload():
+    return generate_twitter(
+        TwitterConfig(
+            n_tweets=800,
+            n_trends=10,
+            vocabulary_per_trend=20,
+            n_queries=10,
+            seed=13,
+        )
+    )

@@ -1,0 +1,43 @@
+"""Unit tests for engine configuration."""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.errors import ExperimentError
+
+
+class TestValidation:
+    def test_defaults_are_paper_settings(self):
+        config = EngineConfig()
+        assert config.k == 10
+        assert config.mass_fraction == 0.8
+        assert config.histogram_kind == "two-bucket"
+        assert config.selectivity_mode == "exact"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 0},
+            {"mass_fraction": 0.0},
+            {"mass_fraction": 1.0},
+            {"histogram_kind": "wavelet"},
+            {"n_buckets": 1},
+            {"selectivity_mode": "sampling"},
+            {"max_relaxations_per_pattern": 0},
+        ],
+    )
+    def test_invalid_settings_rejected(self, kwargs):
+        with pytest.raises(ExperimentError):
+            EngineConfig(**kwargs)
+
+    def test_with_k_preserves_other_fields(self):
+        config = EngineConfig(mass_fraction=0.7, n_buckets=5)
+        new = config.with_k(20)
+        assert new.k == 20
+        assert new.mass_fraction == 0.7
+        assert new.n_buckets == 5
+
+    def test_frozen(self):
+        config = EngineConfig()
+        with pytest.raises(AttributeError):
+            config.k = 5  # type: ignore[misc]

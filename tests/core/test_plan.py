@@ -1,0 +1,124 @@
+"""Unit tests for query plans and operator-tree construction."""
+
+import pytest
+
+from repro.core.plan import QueryPlan
+from repro.errors import PlanError
+from repro.kg.pattern import TriplePattern, var
+from repro.operators.incremental_merge import IncrementalMerge
+from repro.operators.memory import ExecutionContext
+from repro.operators.rank_join import RankJoin
+from repro.operators.scan import SortedScan
+from repro.query.query import TriplePatternQuery
+from repro.relax.rules import RelaxationRule, RuleSet
+
+
+def tp(name):
+    return TriplePattern(var("s"), "rdf:type", name)
+
+
+@pytest.fixture
+def query():
+    return TriplePatternQuery((tp("a"), tp("b"), tp("c")))
+
+
+class TestPartitionValidation:
+    def test_valid_plan(self, query):
+        plan = QueryPlan(query, (0, 2), (1,))
+        assert plan.n_relaxed == 1
+
+    def test_missing_index_rejected(self, query):
+        with pytest.raises(PlanError):
+            QueryPlan(query, (0,), (1,))
+
+    def test_duplicate_index_rejected(self, query):
+        with pytest.raises(PlanError):
+            QueryPlan(query, (0, 1), (1, 2))
+
+    def test_out_of_range_rejected(self, query):
+        with pytest.raises(PlanError):
+            QueryPlan(query, (0, 1, 2), (3,))
+
+
+class TestConstructors:
+    def test_speculative(self, query):
+        plan = QueryPlan.speculative(query, (1,))
+        assert plan.join_group == (0, 2)
+        assert plan.singletons == (1,)
+
+    def test_trinit_all_singletons(self, query):
+        plan = QueryPlan.trinit(query)
+        assert plan.join_group == ()
+        assert plan.singletons == (0, 1, 2)
+        assert plan.n_relaxed == 3
+
+    def test_exact_no_singletons(self, query):
+        plan = QueryPlan.exact(query)
+        assert plan.join_group == (0, 1, 2)
+        assert plan.singletons == ()
+
+    def test_describe_paper_notation(self, query):
+        plan = QueryPlan.speculative(query, (1,))
+        assert plan.describe() == "{{q1, q3}, {q2}}"
+
+    def test_relaxed_patterns(self, query):
+        plan = QueryPlan.speculative(query, (1,))
+        assert plan.relaxed_patterns == (tp("b"),)
+
+
+class TestOperatorTree:
+    @pytest.fixture
+    def graph_and_rules(self):
+        from repro.kg.graph import KnowledgeGraph
+
+        kg = KnowledgeGraph()
+        for e, score in (("x", 10.0), ("y", 8.0)):
+            for t in ("a", "b", "c", "b_relaxed"):
+                kg.add(e, "rdf:type", t, score=score)
+        rules = RuleSet([RelaxationRule(tp("b"), tp("b_relaxed"), 0.5)])
+        return kg, rules
+
+    def test_exact_plan_tree_is_rank_joins_over_scans(self, query, graph_and_rules):
+        kg, rules = graph_and_rules
+        tree = QueryPlan.exact(query).build_operator_tree(
+            kg, rules, ExecutionContext()
+        )
+        assert isinstance(tree, RankJoin)
+        assert tree.patterns_covered == frozenset({0, 1, 2})
+
+    def test_trinit_tree_has_merges(self, query, graph_and_rules):
+        kg, rules = graph_and_rules
+        plan = QueryPlan.trinit(query)
+        tree = plan.build_operator_tree(kg, rules, ExecutionContext())
+        assert tree.patterns_covered == frozenset({0, 1, 2})
+
+    def test_single_pattern_exact_plan_is_scan(self, graph_and_rules):
+        kg, rules = graph_and_rules
+        q = TriplePatternQuery((tp("a"),))
+        tree = QueryPlan.exact(q).build_operator_tree(kg, rules, ExecutionContext())
+        assert isinstance(tree, SortedScan)
+
+    def test_single_singleton_is_merge(self, graph_and_rules):
+        kg, rules = graph_and_rules
+        q = TriplePatternQuery((tp("b"),))
+        tree = QueryPlan.trinit(q).build_operator_tree(kg, rules, ExecutionContext())
+        assert isinstance(tree, IncrementalMerge)
+        assert tree.n_inputs == 2  # original + 1 relaxation
+
+    def test_max_relaxations_cap(self, graph_and_rules):
+        kg, rules = graph_and_rules
+        rules.add(RelaxationRule(tp("b"), tp("c"), 0.4))
+        q = TriplePatternQuery((tp("b"),))
+        tree = QueryPlan.trinit(q).build_operator_tree(
+            kg, rules, ExecutionContext(), max_relaxations_per_pattern=1
+        )
+        assert isinstance(tree, IncrementalMerge)
+        assert tree.n_inputs == 2  # original + capped to 1 relaxation
+
+    def test_tree_execution_consistency(self, query, graph_and_rules):
+        kg, rules = graph_and_rules
+        for plan in (QueryPlan.exact(query), QueryPlan.trinit(query)):
+            tree = plan.build_operator_tree(kg, rules, ExecutionContext())
+            items = tree.drain()
+            scores = [i.score for i in items]
+            assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,118 @@
+"""Unit tests for PLANGEN (Algorithm 1)."""
+
+import pytest
+
+from repro.core.estimator import ExpectedScoreEstimator
+from repro.core.planner import SpecQPPlanner
+from repro.errors import PlanError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pattern import TriplePattern, var
+from repro.query.query import TriplePatternQuery
+from repro.relax.rules import RelaxationRule, RuleSet
+from repro.stats.catalog import StatisticsCatalog
+
+
+def tp(name, v="s"):
+    return TriplePattern(var(v), "rdf:type", name)
+
+
+def planner_for(graph, rules):
+    return SpecQPPlanner(ExpectedScoreEstimator(StatisticsCatalog(graph)), rules)
+
+
+class TestPlanGenDecisions:
+    def test_rich_original_query_prunes_relaxations(self):
+        """When the original query easily fills top-k with high scores,
+        no relaxation can beat the kth score and all are pruned."""
+        kg = KnowledgeGraph()
+        # 50 high-scoring answers to both patterns (full overlap).
+        for i in range(50):
+            score = 100.0 - i
+            kg.add(f"e{i}", "rdf:type", "a", score=score)
+            kg.add(f"e{i}", "rdf:type", "b", score=score)
+        # A weak relaxation candidate.
+        for i in range(5):
+            kg.add(f"r{i}", "rdf:type", "a_relax", score=10.0)
+            kg.add(f"r{i}", "rdf:type", "b", score=10.0)
+        rules = RuleSet([RelaxationRule(tp("a"), tp("a_relax"), 0.1)])
+        decision = planner_for(kg, rules).plan(
+            TriplePatternQuery((tp("a"), tp("b"))), k=5
+        )
+        assert decision.plan.singletons == ()
+        assert decision.plan.join_group == (0, 1)
+
+    def test_insufficient_answers_forces_relaxation(self):
+        """n < k for the original query: E_Q(k) = 0, so any relaxable
+        pattern with a non-empty relaxed join is relaxed."""
+        kg = KnowledgeGraph()
+        kg.add("only", "rdf:type", "a", score=10.0)
+        kg.add("only", "rdf:type", "b", score=10.0)
+        for i in range(20):
+            kg.add(f"r{i}", "rdf:type", "a_relax", score=20.0 - i)
+            kg.add(f"r{i}", "rdf:type", "b", score=20.0 - i)
+        rules = RuleSet([RelaxationRule(tp("a"), tp("a_relax"), 0.9)])
+        decision = planner_for(kg, rules).plan(
+            TriplePatternQuery((tp("a"), tp("b"))), k=10
+        )
+        assert 0 in decision.plan.singletons
+
+    def test_pattern_without_rules_never_relaxed(self):
+        kg = KnowledgeGraph()
+        kg.add("x", "rdf:type", "a", score=1.0)
+        kg.add("x", "rdf:type", "b", score=1.0)
+        decision = planner_for(kg, RuleSet()).plan(
+            TriplePatternQuery((tp("a"), tp("b"))), k=10
+        )
+        assert decision.plan.singletons == ()
+        assert all(d.tested_rule is None for d in decision.per_pattern)
+
+    def test_empty_relaxed_join_not_relaxed(self):
+        """The top-weighted relaxation joins to nothing: E_Q'(1) = 0, so
+        the pattern stays in the join group."""
+        kg = KnowledgeGraph()
+        kg.add("x", "rdf:type", "a", score=1.0)
+        kg.add("x", "rdf:type", "b", score=1.0)
+        kg.add("z", "rdf:type", "a_relax", score=5.0)  # z has no 'b' type
+        rules = RuleSet([RelaxationRule(tp("a"), tp("a_relax"), 0.9)])
+        decision = planner_for(kg, rules).plan(
+            TriplePatternQuery((tp("a"), tp("b"))), k=1
+        )
+        assert decision.plan.singletons == ()
+
+
+class TestDecisionMetadata:
+    def test_per_pattern_records(self):
+        kg = KnowledgeGraph()
+        for i in range(3):
+            kg.add(f"e{i}", "rdf:type", "a", score=10.0 - i)
+            kg.add(f"e{i}", "rdf:type", "b", score=10.0 - i)
+            kg.add(f"e{i}", "rdf:type", "a2", score=10.0 - i)
+        rules = RuleSet([RelaxationRule(tp("a"), tp("a2"), 0.8)])
+        decision = planner_for(kg, rules).plan(
+            TriplePatternQuery((tp("a"), tp("b"))), k=2
+        )
+        assert len(decision.per_pattern) == 2
+        tested = decision.per_pattern[0]
+        assert tested.tested_rule is not None
+        assert tested.tested_rule.weight == 0.8
+        assert decision.planning_seconds >= 0.0
+        assert decision.expected_kth_original >= 0.0
+
+    def test_k_validation(self):
+        kg = KnowledgeGraph()
+        kg.add("x", "rdf:type", "a", score=1.0)
+        planner = planner_for(kg, RuleSet())
+        with pytest.raises(PlanError):
+            planner.plan(TriplePatternQuery((tp("a"),)), k=0)
+
+    def test_plan_is_valid_partition(self):
+        kg = KnowledgeGraph()
+        for i in range(10):
+            kg.add(f"e{i}", "rdf:type", "a", score=10.0 - i)
+            kg.add(f"e{i}", "rdf:type", "b", score=10.0 - i)
+        rules = RuleSet([RelaxationRule(tp("a"), tp("b"), 0.8)])
+        decision = planner_for(kg, rules).plan(
+            TriplePatternQuery((tp("a"), tp("b"))), k=3
+        )
+        plan = decision.plan
+        assert sorted(plan.join_group + plan.singletons) == [0, 1]

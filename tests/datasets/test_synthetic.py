@@ -1,0 +1,108 @@
+"""Unit tests for shared synthetic-generation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    make_rng,
+    name_series,
+    weighted_sample_without_replacement,
+    zipf_rank_weights,
+    zipf_scores,
+)
+from repro.errors import DatasetError
+
+
+class TestMakeRng:
+    def test_seed_reproducible(self):
+        a = make_rng(42).random(5)
+        b = make_rng(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_passthrough_generator(self):
+        rng = np.random.default_rng(1)
+        assert make_rng(rng) is rng
+
+
+class TestZipfScores:
+    def test_bounds(self):
+        scores = zipf_scores(make_rng(0), 1000, alpha=1.1, max_score=500)
+        assert scores.min() >= 1.0
+        assert scores.max() <= 500 + 1  # ceil can add at most 1
+
+    def test_heavy_tail_shape(self):
+        scores = zipf_scores(make_rng(0), 5000, alpha=1.1)
+        # Power law: median far below mean.
+        assert np.median(scores) < np.mean(scores)
+
+    def test_eighty_twenty_property(self):
+        """The generated scores must exhibit the 80/20 concentration the
+        paper's two-bucket model assumes: the top 30% of scores carry well
+        over half of the total mass."""
+        scores = np.sort(zipf_scores(make_rng(3), 2000, alpha=1.1))[::-1]
+        top30 = scores[: len(scores) * 30 // 100].sum()
+        assert top30 / scores.sum() > 0.55
+
+    def test_zero_n(self):
+        assert len(zipf_scores(make_rng(0), 0)) == 0
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(DatasetError):
+            zipf_scores(make_rng(0), -1)
+
+    def test_alpha_one_special_case(self):
+        scores = zipf_scores(make_rng(0), 100, alpha=1.0)
+        assert len(scores) == 100
+
+    def test_bad_alpha(self):
+        with pytest.raises(DatasetError):
+            zipf_scores(make_rng(0), 10, alpha=0.0)
+
+
+class TestRankWeights:
+    def test_normalised(self):
+        weights = zipf_rank_weights(10)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_descending(self):
+        weights = zipf_rank_weights(10, exponent=1.2)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_bad_n(self):
+        with pytest.raises(DatasetError):
+            zipf_rank_weights(0)
+
+
+class TestWeightedSample:
+    def test_distinct_items(self):
+        items = [f"i{j}" for j in range(20)]
+        sample = weighted_sample_without_replacement(
+            make_rng(0), items, zipf_rank_weights(20), 10
+        )
+        assert len(sample) == len(set(sample)) == 10
+
+    def test_size_capped_to_population(self):
+        items = ["a", "b"]
+        sample = weighted_sample_without_replacement(
+            make_rng(0), items, zipf_rank_weights(2), 10
+        )
+        assert sorted(sample) == ["a", "b"]
+
+    def test_zero_size(self):
+        assert weighted_sample_without_replacement(
+            make_rng(0), ["a"], zipf_rank_weights(1), 0
+        ) == []
+
+
+class TestNameSeries:
+    def test_padding_stable(self):
+        names = name_series("e", 12)
+        assert names[0] == "e000"
+        assert names[-1] == "e011"
+
+    def test_custom_width(self):
+        assert name_series("t", 2, width=6) == ["t000000", "t000001"]
+
+    def test_negative_rejected(self):
+        with pytest.raises(DatasetError):
+            name_series("x", -1)

@@ -1,0 +1,86 @@
+"""Unit tests for the Twitter-like dataset generator."""
+
+import pytest
+
+from repro.datasets.twitter import HAS_TAG, TwitterConfig, generate_twitter
+from repro.errors import DatasetError
+from repro.relax.cooccurrence import CooccurrenceIndex
+
+
+class TestConfigValidation:
+    def test_min_terms(self):
+        with pytest.raises(DatasetError):
+            TwitterConfig(terms_per_tweet_min=1)
+
+    def test_term_range_order(self):
+        with pytest.raises(DatasetError):
+            TwitterConfig(terms_per_tweet_min=5, terms_per_tweet_max=3)
+
+    def test_queries_positive(self):
+        with pytest.raises(DatasetError):
+            TwitterConfig(n_queries=0)
+
+
+class TestGeneratedWorkload:
+    def test_basic_shape(self, tiny_twitter_workload):
+        w = tiny_twitter_workload
+        assert w.name == "twitter"
+        assert len(w.queries) == 10
+        assert w.graph.predicates() == {HAS_TAG}
+
+    def test_query_sizes(self, tiny_twitter_workload):
+        for query in tiny_twitter_workload.queries:
+            assert len(query) in (2, 3)
+
+    def test_min_relaxations(self, tiny_twitter_workload):
+        assert tiny_twitter_workload.validate(min_relaxations_per_pattern=5) == []
+
+    def test_queries_nonempty(self, tiny_twitter_workload):
+        from repro.stats.selectivity import JoinCardinalityEstimator
+
+        w = tiny_twitter_workload
+        est = JoinCardinalityEstimator(w.graph, "exact")
+        for query in w.queries:
+            assert est.cardinality(query) >= 1, query.name
+
+    def test_scores_shared_per_tweet(self, tiny_twitter_workload):
+        """Every triple of a tweet carries the tweet's retweet count."""
+        per_tweet: dict[str, set[float]] = {}
+        for triple in tiny_twitter_workload.graph.triples():
+            per_tweet.setdefault(triple.subject, set()).add(triple.score)
+        assert all(len(scores) == 1 for scores in per_tweet.values())
+
+    def test_rule_weights_match_cooccurrence(self, tiny_twitter_workload):
+        """Mined weights must equal the paper's §4.2 formula exactly."""
+        w = tiny_twitter_workload
+        index = CooccurrenceIndex(w.graph, HAS_TAG)
+        checked = 0
+        for rule in w.rules:
+            t1, t2 = rule.domain.object, rule.range.object
+            assert rule.weight == pytest.approx(index.weight(t1, t2))
+            checked += 1
+            if checked >= 50:
+                break
+        assert checked > 0
+
+    def test_deterministic_by_seed(self):
+        config = TwitterConfig(n_tweets=300, n_trends=6, n_queries=5, seed=5)
+        w1, w2 = generate_twitter(config), generate_twitter(config)
+        assert w1.graph.size == w2.graph.size
+        assert [q.patterns for q in w1.queries] == [q.patterns for q in w2.queries]
+
+    def test_trend_cooccurrence_structure(self, tiny_twitter_workload):
+        """Terms of the same trend co-occur more than cross-trend terms on
+        average — the signal the relaxation mining relies on."""
+        index = CooccurrenceIndex(tiny_twitter_workload.graph, HAS_TAG)
+        same_trend, cross_trend = [], []
+        items = index.items()
+        for item in items[:30]:
+            for other, weight in index.neighbours(item)[:10]:
+                trend_a = item.split("_")[0]
+                trend_b = other.split("_")[0]
+                (same_trend if trend_a == trend_b else cross_trend).append(weight)
+        if same_trend and cross_trend:
+            assert (sum(same_trend) / len(same_trend)) > (
+                sum(cross_trend) / len(cross_trend)
+            )

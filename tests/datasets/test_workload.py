@@ -1,0 +1,70 @@
+"""Unit tests for the Workload bundle."""
+
+import pytest
+
+from repro.datasets.workload import Workload
+from repro.errors import DatasetError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pattern import TriplePattern, var
+from repro.query.query import TriplePatternQuery
+from repro.relax.rules import RelaxationRule, RuleSet
+
+
+def tp(name):
+    return TriplePattern(var("s"), "rdf:type", name)
+
+
+def make_workload():
+    kg = KnowledgeGraph()
+    kg.add("x", "rdf:type", "a", score=1.0)
+    kg.add("x", "rdf:type", "b", score=1.0)
+    rules = RuleSet([RelaxationRule(tp("a"), tp("b"), 0.5)])
+    queries = [
+        TriplePatternQuery((tp("a"),), name="q1"),
+        TriplePatternQuery((tp("a"), tp("b")), name="q2"),
+    ]
+    return Workload("test", kg, rules, queries)
+
+
+class TestWorkload:
+    def test_summary(self):
+        w = make_workload()
+        summary = w.summary()
+        assert summary["queries"] == 2
+        assert summary["queries_by_size"] == {1: 1, 2: 1}
+
+    def test_queries_by_size(self):
+        grouped = make_workload().queries_by_size()
+        assert list(grouped) == [1, 2]
+
+    def test_empty_queries_rejected(self):
+        kg = KnowledgeGraph()
+        with pytest.raises(DatasetError):
+            Workload("empty", kg, RuleSet(), [])
+
+    def test_duplicate_names_rejected(self):
+        kg = KnowledgeGraph()
+        kg.add("x", "rdf:type", "a")
+        queries = [
+            TriplePatternQuery((tp("a"),), name="dup"),
+            TriplePatternQuery((tp("b"),), name="dup"),
+        ]
+        with pytest.raises(DatasetError):
+            Workload("w", kg, RuleSet(), queries)
+
+    def test_validate_flags_missing_relaxations(self):
+        w = make_workload()
+        problems = w.validate(min_relaxations_per_pattern=1)
+        # q2's pattern 'b' has no rules.
+        assert any("q2" in p for p in problems)
+
+    def test_validate_flags_empty_lists(self):
+        kg = KnowledgeGraph()
+        kg.add("x", "rdf:type", "a")
+        queries = [TriplePatternQuery((tp("zzz"),), name="q")]
+        w = Workload("w", kg, RuleSet(), queries)
+        assert w.validate(require_nonempty=True)
+
+    def test_validate_clean(self):
+        w = make_workload()
+        assert w.validate() == []

@@ -1,0 +1,78 @@
+"""Unit tests for the XKG-like dataset generator."""
+
+import pytest
+
+from repro.datasets.xkg import HAS_TOPIC, XKGConfig, generate_xkg
+from repro.errors import DatasetError
+from repro.kg.namespace import RDF_TYPE
+
+
+class TestConfigValidation:
+    def test_relaxation_budget_enforced(self):
+        with pytest.raises(DatasetError):
+            XKGConfig(types_per_domain=5, min_relaxations=10)
+
+    def test_queries_positive(self):
+        with pytest.raises(DatasetError):
+            XKGConfig(n_queries=0)
+
+
+class TestGeneratedWorkload:
+    def test_basic_shape(self, tiny_xkg_workload):
+        w = tiny_xkg_workload
+        assert w.name == "xkg"
+        assert len(w.queries) == 12
+        assert w.graph.size > 0
+        assert len(w.rules) > 0
+
+    def test_query_sizes_in_range(self, tiny_xkg_workload):
+        for query in tiny_xkg_workload.queries:
+            assert 2 <= len(query) <= 4
+
+    def test_every_query_has_nonempty_match_lists(self, tiny_xkg_workload):
+        w = tiny_xkg_workload
+        assert w.validate(require_nonempty=True) == []
+
+    def test_every_query_has_exact_answer(self, tiny_xkg_workload):
+        """Queries are seeded from real entities, so the unrelaxed query
+        must have at least one answer — the paper's construction."""
+        from repro.stats.selectivity import JoinCardinalityEstimator
+
+        w = tiny_xkg_workload
+        est = JoinCardinalityEstimator(w.graph, "exact")
+        for query in w.queries:
+            assert est.cardinality(query) >= 1, query.name
+
+    def test_min_relaxations_satisfied(self, tiny_xkg_workload):
+        w = tiny_xkg_workload
+        assert w.validate(min_relaxations_per_pattern=10) == []
+
+    def test_predicates_used(self, tiny_xkg_workload):
+        predicates = tiny_xkg_workload.graph.predicates()
+        assert RDF_TYPE in predicates
+        assert HAS_TOPIC in predicates
+
+    def test_deterministic_by_seed(self):
+        config = XKGConfig(
+            n_domains=3, types_per_domain=12, n_entities=150,
+            n_topics=30, n_queries=5, seed=99,
+        )
+        w1, w2 = generate_xkg(config), generate_xkg(config)
+        assert w1.graph.size == w2.graph.size
+        assert [q.patterns for q in w1.queries] == [q.patterns for q in w2.queries]
+        scores1 = sorted(t.score for t in w1.graph.triples())
+        scores2 = sorted(t.score for t in w2.graph.triples())
+        assert scores1 == scores2
+
+    def test_different_seeds_differ(self):
+        base = dict(
+            n_domains=3, types_per_domain=12, n_entities=150,
+            n_topics=30, n_queries=5,
+        )
+        w1 = generate_xkg(XKGConfig(**base, seed=1))
+        w2 = generate_xkg(XKGConfig(**base, seed=2))
+        assert [q.patterns for q in w1.queries] != [q.patterns for q in w2.queries]
+
+    def test_rule_weights_valid(self, tiny_xkg_workload):
+        for rule in tiny_xkg_workload.rules:
+            assert 0.0 < rule.weight < 1.0

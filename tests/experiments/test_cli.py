@@ -1,0 +1,88 @@
+"""Unit tests for the CLI entry point."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.cli import build_workload, main, run_experiment
+from repro.experiments.session import ExperimentSession
+from repro.metrics.efficiency import TimingProtocol
+
+
+class TestBuildWorkload:
+    def test_small_xkg(self):
+        w = build_workload("xkg", "small", seed=None)
+        assert w.name == "xkg"
+        assert len(w.queries) == 24
+
+    def test_seed_override(self):
+        w1 = build_workload("twitter", "small", seed=1)
+        w2 = build_workload("twitter", "small", seed=1)
+        assert [q.patterns for q in w1.queries] == [q.patterns for q in w2.queries]
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ExperimentError):
+            build_workload("freebase", "small", None)
+
+    def test_unknown_scale(self):
+        with pytest.raises(ExperimentError):
+            build_workload("xkg", "galactic", None)
+
+
+class TestRunExperiment:
+    @pytest.fixture(scope="class")
+    def session(self):
+        workload = build_workload("twitter", "small", seed=3)
+        # Trim to a handful of queries to keep CLI tests fast.
+        workload.queries = workload.queries[:6]
+        return ExperimentSession(
+            workload, ks=(3,), protocol=TimingProtocol(1, 1)
+        )
+
+    def test_tables_render(self, session):
+        for name in ("table2", "table3", "table4"):
+            assert name.replace("table", "Table ") in run_experiment(name, session)
+
+    def test_twitter_figures(self, session):
+        assert "Figure 8" in run_experiment("fig8", session)
+        assert "Figure 9" in run_experiment("fig9", session)
+
+    def test_wrong_dataset_figure_rejected(self, session):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig6", session)
+
+    def test_unknown_experiment(self, session):
+        with pytest.raises(ExperimentError):
+            run_experiment("table9", session)
+
+
+class TestMain:
+    def test_main_runs_table2(self, capsys):
+        code = main(
+            [
+                "table2",
+                "--dataset", "twitter",
+                "--scale", "small",
+                "--ks", "3",
+                "--runs", "1",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Table 2" in output
+        assert "workload" in output
+
+    def test_main_figure_with_chart(self, capsys):
+        code = main(
+            [
+                "fig8",
+                "--dataset", "twitter",
+                "--scale", "small",
+                "--ks", "3",
+                "--runs", "1",
+                "--chart",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Figure 8" in output
+        assert "█" in output  # chart bars rendered

@@ -1,0 +1,76 @@
+"""Unit tests for CSV/JSON export of experiment records."""
+
+import csv
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.export import FIELDS, export_csv, export_json, record_to_row
+from repro.experiments.session import ExperimentSession
+from repro.metrics.efficiency import TimingProtocol
+
+
+@pytest.fixture(scope="module")
+def session(tiny_twitter_workload):
+    return ExperimentSession(
+        tiny_twitter_workload,
+        ks=(3,),
+        protocol=TimingProtocol(n_runs=1, n_keep=1),
+    )
+
+
+class TestRecordToRow:
+    def test_all_fields_present(self, session):
+        record = session.records(3)[0]
+        row = record_to_row(record)
+        assert set(row) == set(FIELDS)
+
+    def test_values_consistent(self, session):
+        record = session.records(3)[0]
+        row = record_to_row(record)
+        assert row["k"] == 3
+        assert row["precision"] == record.precision
+        assert row["n_patterns"] == record.n_patterns
+
+
+class TestCSV:
+    def test_round_trip(self, session, tmp_path):
+        path = tmp_path / "records.csv"
+        n = export_csv(session, path)
+        assert n == len(session.workload.queries)
+        with open(path, encoding="utf-8", newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == n
+        assert set(rows[0]) == set(FIELDS)
+        assert all(0.0 <= float(r["precision"]) <= 1.0 for r in rows)
+
+    def test_unknown_k_rejected(self, session, tmp_path):
+        with pytest.raises(ExperimentError):
+            export_csv(session, tmp_path / "x.csv", ks=(99,))
+
+
+class TestJSON:
+    def test_document_shape(self, session, tmp_path):
+        path = tmp_path / "records.json"
+        n = export_json(session, path)
+        document = json.loads(path.read_text())
+        assert document["workload"]["name"] == "twitter"
+        assert document["ks"] == [3]
+        assert len(document["records"]) == n
+
+    def test_with_answers(self, session, tmp_path):
+        path = tmp_path / "records_full.json"
+        export_json(session, path, include_answers=True)
+        document = json.loads(path.read_text())
+        record = document["records"][0]
+        assert "spec_answers" in record
+        assert "trinit_answers" in record
+        for answer in record["trinit_answers"]:
+            assert set(answer) == {"bindings", "score"}
+
+    def test_json_is_deterministic(self, session, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        export_json(session, a)
+        export_json(session, b)
+        assert a.read_text() == b.read_text()

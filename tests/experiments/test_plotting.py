@@ -1,0 +1,61 @@
+"""Unit tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.figures import FigureGroup
+from repro.experiments.plotting import render_chart
+
+
+def group(k=10, g=2, t_s=0.2, s_s=0.1, t_o=1000, s_o=400):
+    return FigureGroup(
+        k=k,
+        group=g,
+        n_queries=5,
+        trinit_seconds=t_s,
+        spec_seconds=s_s,
+        trinit_objects=t_o,
+        spec_objects=s_o,
+    )
+
+
+class TestRenderChart:
+    def test_runtime_chart_contains_bars_and_values(self):
+        text = render_chart([group()], "runtime", title="Fig X")
+        assert "Fig X" in text
+        assert "█" in text  # T bar
+        assert "▒" in text  # S bar
+        assert "200.0ms" in text
+        assert "100.0ms" in text
+
+    def test_memory_chart(self):
+        text = render_chart([group()], "memory")
+        assert "1,000" in text
+        assert "400" in text
+
+    def test_one_panel_per_k(self):
+        text = render_chart([group(k=10), group(k=20)], "runtime")
+        assert "k=10" in text and "k=20" in text
+
+    def test_bigger_value_longer_bar(self):
+        text = render_chart([group(t_s=0.4, s_s=0.1)], "runtime")
+        lines = text.splitlines()
+        t_line = next(l for l in lines if l.strip().startswith("T"))
+        s_line = next(l for l in lines if l.strip().startswith("S"))
+        assert t_line.count("█") > s_line.count("▒")
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_chart([group()], "latency")
+
+    def test_empty_groups_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_chart([], "runtime")
+
+
+class TestFigureGroupHelpers:
+    def test_runtime_gain(self):
+        assert group(t_s=0.4, s_s=0.2).runtime_gain == pytest.approx(2.0)
+
+    def test_runtime_gain_zero_spec(self):
+        assert group(s_s=0.0).runtime_gain == float("inf")

@@ -1,0 +1,113 @@
+"""Unit tests for the table/figure aggregations."""
+
+import pytest
+
+from repro.experiments import table2, table3, table4
+from repro.experiments.figures import (
+    figure_efficiency_by_patterns,
+    figure_efficiency_by_relaxed,
+    render as render_figure,
+)
+from repro.experiments.session import ExperimentSession
+from repro.metrics.efficiency import TimingProtocol
+
+
+@pytest.fixture(scope="module")
+def session(tiny_xkg_workload):
+    return ExperimentSession(
+        tiny_xkg_workload,
+        ks=(3, 5),
+        protocol=TimingProtocol(n_runs=2, n_keep=1),
+    )
+
+
+class TestTable2:
+    def test_one_row_per_k(self, session):
+        rows = table2.table2_precision(session)
+        assert [row.k for row in rows] == [3, 5]
+
+    def test_precision_in_unit_interval(self, session):
+        for row in table2.table2_precision(session):
+            assert 0.0 <= row.precision <= 1.0
+
+    def test_render_contains_values(self, session):
+        text = table2.render(session)
+        assert "Table 2" in text
+        assert "xkg" in text
+
+
+class TestTable3:
+    def test_cells_partition_queries(self, session):
+        cells = table3.table3_prediction_accuracy(session)
+        for k in session.ks:
+            total = sum(c.total for c in cells if c.k == k)
+            assert total == len(session.workload.queries)
+
+    def test_correct_at_most_total(self, session):
+        for cell in table3.table3_prediction_accuracy(session):
+            assert 0 <= cell.correct <= cell.total
+
+    def test_cell_format(self, session):
+        cells = table3.table3_prediction_accuracy(session)
+        empty = [c for c in cells if c.total == 0]
+        nonempty = [c for c in cells if c.total > 0]
+        if empty:
+            assert empty[0].format() == "-(-)"
+        assert nonempty, "expected some non-empty groups"
+        assert "(" in nonempty[0].format()
+
+    def test_render(self, session):
+        assert "Table 3" in table3.render(session)
+
+
+class TestTable4:
+    def test_cells_cover_sizes_and_ks(self, session):
+        cells = table4.table4_score_error(session)
+        sizes = {len(q) for q in session.workload.queries}
+        assert {c.n_patterns for c in cells} == sizes
+        assert {c.k for c in cells} == set(session.ks)
+
+    def test_errors_non_negative(self, session):
+        for cell in table4.table4_score_error(session):
+            assert cell.mean_error >= 0.0
+            assert cell.std_error >= 0.0
+            assert cell.mean_percent >= 0.0
+
+    def test_render(self, session):
+        text = table4.render(session)
+        assert "Table 4" in text
+        assert "%" in text
+
+
+class TestFigures:
+    def test_groups_partition_queries(self, session):
+        for groups_fn in (
+            figure_efficiency_by_patterns,
+            figure_efficiency_by_relaxed,
+        ):
+            groups = groups_fn(session)
+            for k in session.ks:
+                assert sum(g.n_queries for g in groups if g.k == k) == len(
+                    session.workload.queries
+                )
+
+    def test_values_positive(self, session):
+        for group in figure_efficiency_by_patterns(session):
+            assert group.trinit_seconds > 0
+            assert group.spec_seconds > 0
+            assert group.trinit_objects > 0
+            assert group.spec_objects > 0
+
+    def test_relaxed_axis_bounded_by_patterns(self, session):
+        max_patterns = max(len(q) for q in session.workload.queries)
+        for group in figure_efficiency_by_relaxed(session):
+            assert 0 <= group.group <= max_patterns
+
+    def test_runtime_gain_defined(self, session):
+        for group in figure_efficiency_by_patterns(session):
+            assert group.runtime_gain > 0
+
+    def test_render(self, session):
+        text = render_figure(session, "patterns", "Figure 6")
+        assert "Figure 6" in text
+        assert "T/S" in text

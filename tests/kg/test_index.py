@@ -1,0 +1,87 @@
+"""Unit tests for repro.kg.index."""
+
+import pytest
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.index import MatchList
+from repro.kg.pattern import TriplePattern, var
+from repro.kg.triple import Triple
+
+
+@pytest.fixture
+def graph():
+    kg = KnowledgeGraph()
+    kg.add("a", "p1", "x", score=4.0)
+    kg.add("a", "p2", "y", score=3.0)
+    kg.add("b", "p1", "x", score=2.0)
+    kg.add("b", "p1", "z", score=1.0)
+    return kg
+
+
+class TestCandidates:
+    def test_subject_only(self, graph):
+        pattern = TriplePattern("a", var("p"), var("o"))
+        assert graph.count(pattern) == 2
+
+    def test_predicate_only(self, graph):
+        pattern = TriplePattern(var("s"), "p1", var("o"))
+        assert graph.count(pattern) == 3
+
+    def test_subject_object(self, graph):
+        pattern = TriplePattern("b", var("p"), "x")
+        assert graph.count(pattern) == 1
+
+    def test_full_scan(self, graph):
+        pattern = TriplePattern(var("s"), var("p"), var("o"))
+        assert graph.count(pattern) == 4
+
+    def test_no_match_shape_cached(self, graph):
+        pattern = TriplePattern(var("s"), "p9", var("o"))
+        assert graph.count(pattern) == 0
+        assert graph.count(pattern) == 0  # second call hits cache
+
+
+class TestMatchListCaching:
+    def test_same_key_shares_cache(self, graph):
+        a = graph.match_list(TriplePattern(var("s"), "p1", "x"))
+        b = graph.match_list(TriplePattern(var("q"), "p1", "x"))
+        assert a is b  # variable names don't matter
+
+    def test_cache_invalidated_on_write(self, graph):
+        pattern = TriplePattern(var("s"), "p1", "x")
+        before = graph.match_list(pattern)
+        graph.add("c", "p1", "x", score=9.0)
+        after = graph.match_list(pattern)
+        assert after is not before
+        assert len(after) == len(before) + 1
+
+
+class TestRepeatedVariables:
+    def test_diagonal_only(self):
+        kg = KnowledgeGraph()
+        kg.add("a", "knows", "a", score=2.0)
+        kg.add("a", "knows", "b", score=5.0)
+        ml = kg.match_list(TriplePattern(var("x"), "knows", var("x")))
+        assert [t.spo for t in ml.triples] == [("a", "knows", "a")]
+
+
+class TestMatchListFromTriples:
+    def test_orders_and_normalizes(self):
+        ml = MatchList.from_triples(
+            (None, "p", None),
+            [Triple("a", "p", "b", 2.0), Triple("c", "p", "d", 8.0)],
+        )
+        assert ml.max_score == 8.0
+        assert ml.normalized_scores == (1.0, 0.25)
+        assert ml.normalized(0) == 1.0
+
+    def test_empty(self):
+        ml = MatchList.from_triples((None, "p", None), [])
+        assert not ml
+        assert ml.total_normalized_score() == 0.0
+
+    def test_all_zero_scores(self):
+        ml = MatchList.from_triples(
+            (None, "p", None), [Triple("a", "p", "b", 0.0)]
+        )
+        assert ml.normalized_scores == (0.0,)

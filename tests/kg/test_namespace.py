@@ -1,0 +1,32 @@
+"""Unit tests for repro.kg.namespace."""
+
+import pytest
+
+from repro.kg.namespace import RDF_TYPE, Namespace
+
+
+class TestNamespace:
+    def test_term_construction(self):
+        ns = Namespace("yago:")
+        assert ns["Shakira"] == "yago:Shakira"
+        assert ns.term("Shakira") == "yago:Shakira"
+
+    def test_empty_local_name_rejected(self):
+        with pytest.raises(ValueError):
+            Namespace("x:")[""]
+
+    def test_contains(self):
+        ns = Namespace("tweet:")
+        assert "tweet:123" in ns
+        assert "yago:123" not in ns
+
+    def test_local(self):
+        ns = Namespace("tweet:")
+        assert ns.local("tweet:123") == "123"
+
+    def test_local_outside_namespace_raises(self):
+        with pytest.raises(ValueError):
+            Namespace("a:").local("b:x")
+
+    def test_rdf_type_constant(self):
+        assert RDF_TYPE == "rdf:type"

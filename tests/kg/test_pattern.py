@@ -1,0 +1,119 @@
+"""Unit tests for repro.kg.pattern."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.kg.pattern import TriplePattern, Variable, is_variable, var
+from repro.kg.triple import Triple
+
+
+class TestVariable:
+    def test_str_has_question_mark(self):
+        assert str(Variable("s")) == "?s"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(PatternError):
+            Variable("")
+
+    def test_prefixed_name_rejected(self):
+        with pytest.raises(PatternError):
+            Variable("?s")
+
+    def test_var_shorthand(self):
+        assert var("x") == Variable("x")
+
+    def test_is_variable(self):
+        assert is_variable(Variable("x"))
+        assert not is_variable("x")
+
+
+class TestPatternBasics:
+    def test_terms(self):
+        p = TriplePattern(var("s"), "rdf:type", "singer")
+        assert p.terms == (var("s"), "rdf:type", "singer")
+
+    def test_variables_in_position_order(self):
+        p = TriplePattern(var("s"), var("p"), var("o"))
+        assert p.variable_names == ("s", "p", "o")
+
+    def test_repeated_variable_counted_once(self):
+        p = TriplePattern(var("x"), "p", var("x"))
+        assert p.variable_names == ("x",)
+
+    def test_key_wildcard_positions(self):
+        p = TriplePattern(var("s"), "rdf:type", "singer")
+        assert p.key() == (None, "rdf:type", "singer")
+
+    def test_key_variable_name_independent(self):
+        a = TriplePattern(var("s"), "p", "o")
+        b = TriplePattern(var("x"), "p", "o")
+        assert a.key() == b.key()
+
+    def test_empty_constant_rejected(self):
+        with pytest.raises(PatternError):
+            TriplePattern("", "p", "o")
+
+    def test_str(self):
+        p = TriplePattern(var("s"), "rdf:type", "singer")
+        assert str(p) == "?s rdf:type singer"
+
+
+class TestMatching:
+    def test_constant_match(self):
+        p = TriplePattern("a", "p", "b")
+        assert p.matches(Triple("a", "p", "b"))
+        assert not p.matches(Triple("a", "p", "c"))
+
+    def test_variable_binds(self):
+        p = TriplePattern(var("s"), "rdf:type", "singer")
+        t = Triple("shakira", "rdf:type", "singer")
+        assert p.bind(t) == {"s": "shakira"}
+
+    def test_bind_mismatch_returns_none(self):
+        p = TriplePattern(var("s"), "rdf:type", "singer")
+        assert p.bind(Triple("x", "rdf:type", "pianist")) is None
+
+    def test_repeated_variable_consistency(self):
+        p = TriplePattern(var("x"), "knows", var("x"))
+        assert p.bind(Triple("a", "knows", "a")) == {"x": "a"}
+        assert p.bind(Triple("a", "knows", "b")) is None
+
+    def test_all_variables_matches_everything(self):
+        p = TriplePattern(var("s"), var("p"), var("o"))
+        assert p.matches(Triple("any", "thing", "atall"))
+
+
+class TestSubstituteRename:
+    def test_substitute_full(self):
+        p = TriplePattern(var("s"), "rdf:type", var("t"))
+        q = p.substitute({"s": "shakira", "t": "singer"})
+        assert q == TriplePattern("shakira", "rdf:type", "singer")
+
+    def test_substitute_partial(self):
+        p = TriplePattern(var("s"), "rdf:type", var("t"))
+        q = p.substitute({"t": "singer"})
+        assert q == TriplePattern(var("s"), "rdf:type", "singer")
+
+    def test_rename(self):
+        p = TriplePattern(var("s"), "p", var("o"))
+        q = p.rename({"s": "x"})
+        assert q == TriplePattern(var("x"), "p", var("o"))
+
+    def test_shares_variable_with(self):
+        a = TriplePattern(var("s"), "p1", "o1")
+        b = TriplePattern(var("s"), "p2", "o2")
+        c = TriplePattern(var("t"), "p3", "o3")
+        assert a.shares_variable_with(b)
+        assert not a.shares_variable_with(c)
+
+
+class TestIdentity:
+    def test_equal_patterns(self):
+        assert TriplePattern(var("s"), "p", "o") == TriplePattern(var("s"), "p", "o")
+
+    def test_different_variable_names_not_equal(self):
+        assert TriplePattern(var("s"), "p", "o") != TriplePattern(var("x"), "p", "o")
+
+    def test_hashable(self):
+        patterns = {TriplePattern(var("s"), "p", "o"), TriplePattern(var("s"), "p", "o")}
+        assert len(patterns) == 1

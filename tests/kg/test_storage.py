@@ -1,0 +1,95 @@
+"""Unit tests for repro.kg.storage."""
+
+import pytest
+
+from repro.errors import KnowledgeGraphError
+from repro.kg import storage
+from repro.kg.graph import KnowledgeGraph
+
+
+@pytest.fixture
+def graph():
+    return storage.from_tuples(
+        [
+            ("a", "type", "t1", 10.0),
+            ("b", "type", "t1", 5.0),
+            ("c", "likes", "a", 2.5),
+        ]
+    )
+
+
+class TestTSVRoundTrip:
+    def test_round_trip(self, graph, tmp_path):
+        path = tmp_path / "kg.tsv"
+        written = storage.save_tsv(graph, path)
+        assert written == 3
+        loaded = storage.load_tsv(path)
+        assert loaded.size == 3
+        assert loaded.score_of("a", "type", "t1") == 10.0
+
+    def test_gzip_round_trip(self, graph, tmp_path):
+        path = tmp_path / "kg.tsv.gz"
+        storage.save_tsv(graph, path)
+        loaded = storage.load_tsv(path)
+        assert loaded.size == 3
+
+    def test_three_column_defaults_score(self, tmp_path):
+        path = tmp_path / "kg.tsv"
+        path.write_text("a\tp\tb\n")
+        loaded = storage.load_tsv(path)
+        assert loaded.score_of("a", "p", "b") == 1.0
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "kg.tsv"
+        path.write_text("# header\n\na\tp\tb\t2\n")
+        assert storage.load_tsv(path).size == 1
+
+    def test_bad_column_count_raises(self, tmp_path):
+        path = tmp_path / "kg.tsv"
+        path.write_text("a\tp\n")
+        with pytest.raises(KnowledgeGraphError):
+            storage.load_tsv(path)
+
+    def test_bad_score_raises(self, tmp_path):
+        path = tmp_path / "kg.tsv"
+        path.write_text("a\tp\tb\tnot-a-number\n")
+        with pytest.raises(KnowledgeGraphError):
+            storage.load_tsv(path)
+
+
+class TestNTriples:
+    def test_round_trip_drops_scores(self, graph, tmp_path):
+        path = tmp_path / "kg.nt"
+        storage.save_ntriples(graph, path)
+        loaded = storage.load_ntriples(path)
+        assert loaded.size == 3
+        assert loaded.score_of("a", "type", "t1") == 1.0
+
+    def test_missing_dot_raises(self, tmp_path):
+        path = tmp_path / "kg.nt"
+        path.write_text("<a> <p> <b>\n")
+        with pytest.raises(KnowledgeGraphError):
+            storage.load_ntriples(path)
+
+    def test_unangled_term_raises(self, tmp_path):
+        path = tmp_path / "kg.nt"
+        path.write_text("a <p> <b> .\n")
+        with pytest.raises(KnowledgeGraphError):
+            storage.load_ntriples(path)
+
+    def test_wrong_arity_raises(self, tmp_path):
+        path = tmp_path / "kg.nt"
+        path.write_text("<a> <p> .\n")
+        with pytest.raises(KnowledgeGraphError):
+            storage.load_ntriples(path)
+
+
+class TestFromTuples:
+    def test_mixed_arity(self):
+        kg = storage.from_tuples([("a", "p", "b"), ("c", "p", "d", 3.0)])
+        assert kg.score_of("a", "p", "b") == 1.0
+        assert kg.score_of("c", "p", "d") == 3.0
+
+    def test_bad_arity_raises(self):
+        with pytest.raises(KnowledgeGraphError):
+            storage.from_tuples([("a", "p")])  # type: ignore[list-item]

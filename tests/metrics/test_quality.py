@@ -1,0 +1,136 @@
+"""Unit tests for quality metrics."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pattern import TriplePattern, var
+from repro.metrics.quality import (
+    precision_at_k,
+    prediction_is_exact,
+    required_relaxations,
+    score_error,
+)
+from repro.query.answer import Answer
+from repro.query.query import TriplePatternQuery
+
+
+def ans(name, score):
+    return Answer.from_mapping({"s": name}, score)
+
+
+class TestPrecision:
+    def test_perfect(self):
+        truth = [ans("a", 2.0), ans("b", 1.0)]
+        assert precision_at_k(truth, truth) == 1.0
+
+    def test_half(self):
+        approx = [ans("a", 2.0), ans("x", 1.5)]
+        truth = [ans("a", 2.0), ans("b", 1.0)]
+        assert precision_at_k(approx, truth) == 0.5
+
+    def test_zero(self):
+        assert precision_at_k([ans("x", 1.0)], [ans("a", 1.0)]) == 0.0
+
+    def test_empty_truth(self):
+        assert precision_at_k([], []) == 1.0
+        assert precision_at_k([ans("a", 1.0)], []) == 0.0
+
+    def test_score_irrelevant(self):
+        approx = [ans("a", 99.0)]
+        truth = [ans("a", 1.0)]
+        assert precision_at_k(approx, truth) == 1.0
+
+
+class TestScoreError:
+    def test_identical_zero_error(self):
+        truth = [ans("a", 2.0), ans("b", 1.0)]
+        err = score_error(truth, truth, n_patterns=2)
+        assert err.mean == 0.0
+        assert err.std == 0.0
+        assert err.percent == 0.0
+
+    def test_rankwise_deviation(self):
+        approx = [ans("a", 1.9), ans("b", 0.8)]
+        truth = [ans("a", 2.0), ans("c", 1.0)]
+        err = score_error(approx, truth, n_patterns=2)
+        assert err.mean == pytest.approx((0.1 + 0.2) / 2)
+
+    def test_missing_ranks_count_fully(self):
+        approx = [ans("a", 2.0)]
+        truth = [ans("a", 2.0), ans("b", 1.0)]
+        err = score_error(approx, truth, n_patterns=2)
+        assert err.mean == pytest.approx(0.5)
+
+    def test_percent_normalised_by_max_score(self):
+        approx = [ans("a", 1.9)]
+        truth = [ans("a", 2.0)]
+        err = score_error(approx, truth, n_patterns=2)
+        assert err.percent == pytest.approx(100 * 0.1 / 2)
+
+    def test_empty_truth(self):
+        err = score_error([], [], n_patterns=2)
+        assert err.mean == 0.0
+
+    def test_bad_n_patterns(self):
+        with pytest.raises(ExperimentError):
+            score_error([], [], n_patterns=0)
+
+
+class TestRequiredRelaxations:
+    @pytest.fixture
+    def graph(self):
+        kg = KnowledgeGraph()
+        kg.add("x", "rdf:type", "a", score=1.0)
+        kg.add("x", "rdf:type", "b", score=1.0)
+        kg.add("y", "rdf:type", "a", score=1.0)
+        # y is NOT of type b.
+        return kg
+
+    def test_no_relaxation_needed(self, graph):
+        query = TriplePatternQuery(
+            (
+                TriplePattern(var("s"), "rdf:type", "a"),
+                TriplePattern(var("s"), "rdf:type", "b"),
+            )
+        )
+        truth = [ans("x", 2.0)]
+        assert required_relaxations(graph, query, truth) == frozenset()
+
+    def test_slot_specific_requirement(self, graph):
+        query = TriplePatternQuery(
+            (
+                TriplePattern(var("s"), "rdf:type", "a"),
+                TriplePattern(var("s"), "rdf:type", "b"),
+            )
+        )
+        truth = [ans("x", 2.0), ans("y", 1.5)]  # y needed slot 1 relaxed
+        assert required_relaxations(graph, query, truth) == frozenset({1})
+
+    def test_all_slots_required(self, graph):
+        query = TriplePatternQuery(
+            (
+                TriplePattern(var("s"), "rdf:type", "zz1"),
+                TriplePattern(var("s"), "rdf:type", "zz2"),
+            )
+        )
+        truth = [ans("x", 1.0)]
+        assert required_relaxations(graph, query, truth) == frozenset({0, 1})
+
+    def test_empty_truth(self, graph):
+        query = TriplePatternQuery((TriplePattern(var("s"), "rdf:type", "a"),))
+        assert required_relaxations(graph, query, []) == frozenset()
+
+
+class TestPredictionExact:
+    def test_exact_match(self):
+        assert prediction_is_exact((0, 2), frozenset({0, 2}))
+
+    def test_superset_not_exact(self):
+        assert not prediction_is_exact((0, 1, 2), frozenset({0, 2}))
+
+    def test_subset_not_exact(self):
+        assert not prediction_is_exact((0,), frozenset({0, 2}))
+
+    def test_empty_sets(self):
+        assert prediction_is_exact((), frozenset())

@@ -1,0 +1,45 @@
+"""Unit tests for the Operator base protocol helpers."""
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pattern import TriplePattern, var
+from repro.operators.base import EXHAUSTED_BOUND
+from repro.operators.memory import ExecutionContext
+from repro.operators.scan import SortedScan
+
+
+def make_scan(n=5):
+    kg = KnowledgeGraph()
+    for i in range(n):
+        kg.add(f"e{i}", "rdf:type", "t", score=float(n - i))
+    return SortedScan(kg, TriplePattern(var("s"), "rdf:type", "t"), 0, ExecutionContext())
+
+
+class TestIteration:
+    def test_iter_consumes_all(self):
+        scan = make_scan(4)
+        assert len(list(scan)) == 4
+
+    def test_iter_stops_at_none(self):
+        scan = make_scan(2)
+        items = list(scan)
+        assert len(items) == 2
+        assert list(scan) == []  # already exhausted
+
+
+class TestDrain:
+    def test_drain_all(self):
+        assert len(make_scan(6).drain()) == 6
+
+    def test_drain_with_limit(self):
+        scan = make_scan(6)
+        assert len(scan.drain(limit=2)) == 2
+        # Remaining items still available.
+        assert len(scan.drain()) == 4
+
+    def test_drain_limit_larger_than_stream(self):
+        assert len(make_scan(3).drain(limit=10)) == 3
+
+    def test_exhausted_bound_constant(self):
+        import math
+
+        assert EXHAUSTED_BOUND == -math.inf

@@ -1,0 +1,132 @@
+"""Unit tests for the ChainScan operator and chain-enabled execution."""
+
+import math
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import SpecQPEngine
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pattern import TriplePattern, var
+from repro.operators.chain_scan import ChainScan
+from repro.operators.memory import ExecutionContext
+from repro.query.query import TriplePatternQuery
+from repro.relax.chains import ChainRelaxationRule, ChainRuleSet
+from repro.relax.rules import RuleSet
+
+
+@pytest.fixture
+def geo_graph():
+    kg = KnowledgeGraph()
+    # Direct facts.
+    kg.add("alice", "bornIn", "paris", score=10.0)
+    # Chain facts: bob born in a suburb located in paris.
+    kg.add("bob", "bornIn", "montreuil", score=8.0)
+    kg.add("montreuil", "locatedIn", "paris", score=4.0)
+    kg.add("carol", "bornIn", "lyon", score=6.0)
+    kg.add("lyon", "locatedIn", "france", score=9.0)
+    return kg
+
+
+@pytest.fixture
+def chain():
+    return ChainRelaxationRule(
+        domain=TriplePattern(var("s"), "bornIn", "paris"),
+        chain=(
+            TriplePattern(var("s"), "bornIn", var("m")),
+            TriplePattern(var("m"), "locatedIn", "paris"),
+        ),
+        weight=0.6,
+    )
+
+
+class TestChainScan:
+    def test_matches_projected_to_outer_vars(self, geo_graph, chain):
+        scan = ChainScan(geo_graph, chain, 0, ExecutionContext())
+        items = scan.drain()
+        assert [i.bindings for i in items] == [{"s": "bob"}]  # no ?m leak
+
+    def test_score_is_weighted_mean(self, geo_graph, chain):
+        scan = ChainScan(geo_graph, chain, 0, ExecutionContext())
+        item = scan.next()
+        # bornIn list: alice 10 (1.0), bob 8 (0.8), carol 6 (0.6);
+        # locatedIn-paris list: montreuil 4 -> normalized 1.0.
+        expected = 0.6 * (0.8 + 1.0) / 2
+        assert item.score == pytest.approx(expected)
+
+    def test_sorted_output_and_bounds(self, geo_graph, chain):
+        geo_graph.add("dave", "bornIn", "saintdenis", score=2.0)
+        geo_graph.add("saintdenis", "locatedIn", "paris", score=3.0)
+        scan = ChainScan(geo_graph, chain, 0, ExecutionContext())
+        previous = math.inf
+        while True:
+            bound = scan.upper_bound()
+            item = scan.next()
+            if item is None:
+                assert scan.upper_bound() == -math.inf
+                break
+            assert item.score <= bound + 1e-9
+            assert item.score <= previous + 1e-9
+            previous = item.score
+
+    def test_duplicate_outer_bindings_keep_max(self, geo_graph, chain):
+        # bob also born in a second paris suburb with higher rank.
+        geo_graph.add("bob", "bornIn", "vincennes", score=9.0)
+        geo_graph.add("vincennes", "locatedIn", "paris", score=4.0)
+        scan = ChainScan(geo_graph, chain, 0, ExecutionContext())
+        items = scan.drain()
+        bobs = [i for i in items if i.bindings["s"] == "bob"]
+        assert len(bobs) == 1
+
+    def test_empty_chain_join(self, chain):
+        kg = KnowledgeGraph()
+        kg.add("x", "bornIn", "nowhere", score=1.0)
+        scan = ChainScan(kg, chain, 0, ExecutionContext())
+        assert scan.next() is None
+
+    def test_coverage(self, geo_graph, chain):
+        scan = ChainScan(geo_graph, chain, 2, ExecutionContext())
+        assert scan.patterns_covered == frozenset({2})
+
+
+class TestEngineWithChains:
+    def test_chain_answers_reach_topk(self, geo_graph, chain):
+        """bornIn-paris query: alice matches directly; bob only through
+        the chain relaxation."""
+        query = TriplePatternQuery(
+            (TriplePattern(var("s"), "bornIn", "paris"),),
+            projection=(var("s"),),
+        )
+        engine = SpecQPEngine(
+            geo_graph,
+            RuleSet(),
+            EngineConfig(),
+            chain_rules=ChainRuleSet([chain]),
+        )
+        result = engine.query_trinit(query, k=5)
+        names = [a.as_dict()["s"] for a in result.answers]
+        assert names[0] == "alice"
+        assert "bob" in names
+        assert "carol" not in names  # lyon is not in paris
+
+    def test_chain_scores_discounted(self, geo_graph, chain):
+        query = TriplePatternQuery(
+            (TriplePattern(var("s"), "bornIn", "paris"),),
+            projection=(var("s"),),
+        )
+        engine = SpecQPEngine(
+            geo_graph, RuleSet(), chain_rules=ChainRuleSet([chain])
+        )
+        result = engine.query_trinit(query, k=5)
+        scores = {a.as_dict()["s"]: a.score for a in result.answers}
+        assert scores["alice"] == pytest.approx(1.0)
+        assert scores["bob"] < 0.6 + 1e-9  # bounded by the chain weight
+
+    def test_without_chains_no_bob(self, geo_graph):
+        query = TriplePatternQuery(
+            (TriplePattern(var("s"), "bornIn", "paris"),),
+            projection=(var("s"),),
+        )
+        engine = SpecQPEngine(geo_graph, RuleSet())
+        result = engine.query_trinit(query, k=5)
+        assert [a.as_dict()["s"] for a in result.answers] == ["alice"]

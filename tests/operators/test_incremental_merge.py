@@ -1,0 +1,115 @@
+"""Unit tests for the Incremental Merge operator."""
+
+import math
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pattern import TriplePattern, var
+from repro.operators.incremental_merge import IncrementalMerge, WeightedInput
+from repro.operators.memory import ExecutionContext
+from repro.operators.scan import SortedScan
+
+
+def tp(name):
+    return TriplePattern(var("s"), "rdf:type", name)
+
+
+@pytest.fixture
+def graph():
+    kg = KnowledgeGraph()
+    kg.add("a", "rdf:type", "singer", score=10.0)   # normalized 1.0
+    kg.add("b", "rdf:type", "singer", score=5.0)    # 0.5
+    kg.add("c", "rdf:type", "vocalist", score=8.0)  # 1.0 -> weighted 0.8
+    kg.add("a", "rdf:type", "vocalist", score=4.0)  # 0.5 -> weighted 0.4
+    return kg
+
+
+def merge_of(graph, specs, context=None):
+    context = context or ExecutionContext()
+    inputs = [
+        WeightedInput(
+            scan=SortedScan(graph, pattern, 0, context, weight=weight),
+            weight=weight,
+        )
+        for pattern, weight in specs
+    ]
+    return IncrementalMerge(inputs, context), context
+
+
+class TestMergedOrder:
+    def test_globally_sorted(self, graph):
+        merge, _ = merge_of(graph, [(tp("singer"), 1.0), (tp("vocalist"), 0.8)])
+        scores = [item.score for item in merge]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_exact_merge_sequence(self, graph):
+        merge, _ = merge_of(graph, [(tp("singer"), 1.0), (tp("vocalist"), 0.8)])
+        items = merge.drain()
+        # singer a@1.0, vocalist c@0.8, singer b@0.5; vocalist a@0.4 is a
+        # duplicate binding of a@1.0 and must be dropped.
+        assert [(i.bindings["s"], pytest.approx(i.score)) for i in items] == [
+            ("a", pytest.approx(1.0)),
+            ("c", pytest.approx(0.8)),
+            ("b", pytest.approx(0.5)),
+        ]
+
+    def test_duplicate_keeps_max(self, graph):
+        merge, _ = merge_of(graph, [(tp("singer"), 1.0), (tp("vocalist"), 0.8)])
+        by_binding = {i.bindings["s"]: i.score for i in merge.drain()}
+        assert by_binding["a"] == pytest.approx(1.0)  # not 0.4
+
+    def test_single_input_passthrough(self, graph):
+        merge, _ = merge_of(graph, [(tp("singer"), 1.0)])
+        assert [i.bindings["s"] for i in merge.drain()] == ["a", "b"]
+
+
+class TestBounds:
+    def test_initial_upper_bound(self, graph):
+        merge, _ = merge_of(graph, [(tp("singer"), 1.0), (tp("vocalist"), 0.8)])
+        assert merge.upper_bound() == pytest.approx(1.0)
+
+    def test_bound_never_below_next_emitted(self, graph):
+        merge, _ = merge_of(graph, [(tp("singer"), 1.0), (tp("vocalist"), 0.8)])
+        while True:
+            bound = merge.upper_bound()
+            item = merge.next()
+            if item is None:
+                break
+            assert item.score <= bound + 1e-9
+
+    def test_exhausted_bound(self, graph):
+        merge, _ = merge_of(graph, [(tp("singer"), 1.0)])
+        merge.drain()
+        assert merge.next() is None
+        assert merge.upper_bound() == -math.inf
+
+
+class TestValidation:
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ExecutionError):
+            IncrementalMerge([], ExecutionContext())
+
+    def test_mismatched_coverage_rejected(self, graph):
+        context = ExecutionContext()
+        a = WeightedInput(SortedScan(graph, tp("singer"), 0, context), 1.0)
+        b = WeightedInput(SortedScan(graph, tp("vocalist"), 1, context), 0.8)
+        with pytest.raises(ExecutionError):
+            IncrementalMerge([a, b], context)
+
+
+class TestLaziness:
+    def test_priming_reads_one_tuple_per_input(self, graph):
+        merge, context = merge_of(
+            graph, [(tp("singer"), 1.0), (tp("vocalist"), 0.8)]
+        )
+        merge.next()  # first output
+        # One prime pull per input, plus one refill after the pop.
+        assert context.tuples_pulled <= 3
+
+    def test_empty_relaxation_lists_ok(self, graph):
+        merge, _ = merge_of(
+            graph, [(tp("singer"), 1.0), (tp("nonexistent"), 0.9)]
+        )
+        assert [i.bindings["s"] for i in merge.drain()] == ["a", "b"]

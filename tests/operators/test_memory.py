@@ -1,0 +1,37 @@
+"""Unit tests for execution-context accounting."""
+
+from repro.operators.memory import ExecutionContext
+
+
+class TestExecutionContext:
+    def test_initial_state(self):
+        context = ExecutionContext()
+        assert context.answer_objects_created == 0
+        assert context.tuples_pulled == 0
+        assert context.joins_attempted == 0
+        assert context.joins_matched == 0
+
+    def test_counts_factory_objects(self):
+        context = ExecutionContext()
+        context.factory.make({"s": "x"}, 1.0, frozenset({0}))
+        left = context.factory.make({"s": "y"}, 1.0, frozenset({0}))
+        right = context.factory.make({"s": "y"}, 0.5, frozenset({1}))
+        context.factory.join(left, right)
+        assert context.answer_objects_created == 4
+
+    def test_snapshot_shape(self):
+        context = ExecutionContext()
+        context.tuples_pulled = 7
+        snap = context.snapshot()
+        assert snap["tuples_pulled"] == 7
+        assert set(snap) == {
+            "answer_objects_created",
+            "tuples_pulled",
+            "joins_attempted",
+            "joins_matched",
+        }
+
+    def test_contexts_are_independent(self):
+        a, b = ExecutionContext(), ExecutionContext()
+        a.factory.make({"s": "x"}, 1.0, frozenset({0}))
+        assert b.answer_objects_created == 0

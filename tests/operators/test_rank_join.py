@@ -1,0 +1,128 @@
+"""Unit tests for the HRJN-style Rank Join operator."""
+
+import math
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pattern import TriplePattern, var
+from repro.operators.memory import ExecutionContext
+from repro.operators.rank_join import RankJoin
+from repro.operators.scan import SortedScan
+
+
+def tp(name, v="s"):
+    return TriplePattern(var(v), "rdf:type", name)
+
+
+@pytest.fixture
+def graph():
+    kg = KnowledgeGraph()
+    for e, score in (("a", 10.0), ("b", 8.0), ("c", 2.0)):
+        kg.add(e, "rdf:type", "t1", score=score)
+    for e, score in (("b", 9.0), ("c", 6.0), ("d", 3.0)):
+        kg.add(e, "rdf:type", "t2", score=score)
+    return kg
+
+
+def join_of(graph, p1, p2, context=None):
+    context = context or ExecutionContext()
+    left = SortedScan(graph, p1, 0, context)
+    right = SortedScan(graph, p2, 1, context)
+    return RankJoin(left, right, context), context
+
+
+class TestJoinCorrectness:
+    def test_join_results(self, graph):
+        join, _ = join_of(graph, tp("t1"), tp("t2"))
+        results = {i.bindings["s"]: i.score for i in join.drain()}
+        # t1 normalized: a=1.0 b=0.8 c=0.2 ; t2 normalized: b=1.0 c=2/3 d=1/3
+        assert set(results) == {"b", "c"}
+        assert results["b"] == pytest.approx(1.8)
+        assert results["c"] == pytest.approx(0.2 + 2 / 3)
+
+    def test_descending_output_order(self, graph):
+        join, _ = join_of(graph, tp("t1"), tp("t2"))
+        scores = [i.score for i in join.drain()]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_coverage_union(self, graph):
+        join, _ = join_of(graph, tp("t1"), tp("t2"))
+        assert join.patterns_covered == frozenset({0, 1})
+        item = join.next()
+        assert item is not None
+        assert item.patterns_covered == frozenset({0, 1})
+
+    def test_empty_side_yields_nothing(self, graph):
+        join, _ = join_of(graph, tp("t1"), tp("missing"))
+        assert join.next() is None
+
+    def test_no_shared_variables_cartesian(self, graph):
+        join, _ = join_of(graph, tp("t1", "s"), tp("t2", "other"))
+        results = join.drain()
+        assert len(results) == 9
+        scores = [i.score for i in results]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestEarlyTermination:
+    def test_top1_does_not_exhaust_inputs(self):
+        kg = KnowledgeGraph()
+        # Large lists where the top join partner pairs up immediately.
+        for i in range(100):
+            kg.add(f"e{i}", "rdf:type", "L", score=1000 - i)
+            kg.add(f"e{i}", "rdf:type", "R", score=1000 - i)
+        context = ExecutionContext()
+        left = SortedScan(kg, tp("L"), 0, context)
+        right = SortedScan(kg, tp("R"), 1, context)
+        join = RankJoin(left, right, context)
+        top = join.next()
+        assert top is not None
+        assert top.bindings["s"] == "e0"
+        assert context.tuples_pulled < 50  # far from the full 200
+
+    def test_threshold_upper_bound_sound(self, graph):
+        join, _ = join_of(graph, tp("t1"), tp("t2"))
+        while True:
+            bound = join.upper_bound()
+            item = join.next()
+            if item is None:
+                break
+            assert item.score <= bound + 1e-9
+
+    def test_exhausted_bound(self, graph):
+        join, _ = join_of(graph, tp("t1"), tp("t2"))
+        join.drain()
+        assert join.next() is None
+        assert join.upper_bound() == -math.inf
+
+
+class TestValidation:
+    def test_overlapping_coverage_rejected(self, graph):
+        context = ExecutionContext()
+        left = SortedScan(graph, tp("t1"), 0, context)
+        right = SortedScan(graph, tp("t2"), 0, context)
+        with pytest.raises(ExecutionError):
+            RankJoin(left, right, context)
+
+
+class TestNestedJoins:
+    def test_three_way_join(self, graph):
+        graph.add("b", "rdf:type", "t3", score=5.0)
+        graph.add("d", "rdf:type", "t3", score=4.0)
+        context = ExecutionContext()
+        s1 = SortedScan(graph, tp("t1"), 0, context)
+        s2 = SortedScan(graph, tp("t2"), 1, context)
+        s3 = SortedScan(graph, tp("t3"), 2, context)
+        tree = RankJoin(RankJoin(s1, s2, context), s3, context)
+        results = tree.drain()
+        assert [i.bindings["s"] for i in results] == ["b"]
+        assert results[0].score == pytest.approx(1.8 + 1.0)
+
+    def test_join_accounting(self, graph):
+        join, context = join_of(graph, tp("t1"), tp("t2"))
+        join.drain()
+        assert context.joins_attempted > 0
+        assert context.joins_matched > 0
+        assert context.joins_matched <= context.joins_attempted

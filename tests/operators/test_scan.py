@@ -1,0 +1,101 @@
+"""Unit tests for the SortedScan leaf operator."""
+
+import math
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pattern import TriplePattern, var
+from repro.operators.memory import ExecutionContext
+from repro.operators.scan import SortedScan
+
+
+@pytest.fixture
+def graph():
+    kg = KnowledgeGraph()
+    kg.add("a", "rdf:type", "t", score=10.0)
+    kg.add("b", "rdf:type", "t", score=5.0)
+    kg.add("c", "rdf:type", "t", score=1.0)
+    return kg
+
+
+def tp(name="t"):
+    return TriplePattern(var("s"), "rdf:type", name)
+
+
+class TestScanOrdering:
+    def test_descending_normalized_scores(self, graph):
+        scan = SortedScan(graph, tp(), 0, ExecutionContext())
+        scores = [item.score for item in scan]
+        assert scores == [1.0, 0.5, 0.1]
+
+    def test_bindings(self, graph):
+        scan = SortedScan(graph, tp(), 0, ExecutionContext())
+        first = scan.next()
+        assert first is not None
+        assert first.bindings == {"s": "a"}
+        assert first.patterns_covered == frozenset({0})
+
+    def test_exhaustion_returns_none(self, graph):
+        scan = SortedScan(graph, tp(), 0, ExecutionContext())
+        scan.drain()
+        assert scan.next() is None
+        assert scan.next() is None
+
+
+class TestScanBounds:
+    def test_upper_bound_tracks_head(self, graph):
+        scan = SortedScan(graph, tp(), 0, ExecutionContext())
+        assert scan.upper_bound() == 1.0
+        scan.next()
+        assert scan.upper_bound() == 0.5
+        scan.next()
+        scan.next()
+        assert scan.upper_bound() == -math.inf
+
+    def test_bounds_never_increase(self, graph):
+        scan = SortedScan(graph, tp(), 0, ExecutionContext())
+        bounds = [scan.upper_bound()]
+        while scan.next() is not None:
+            bounds.append(scan.upper_bound())
+        assert bounds == sorted(bounds, reverse=True)
+
+
+class TestScanWeight:
+    def test_weight_applied(self, graph):
+        scan = SortedScan(graph, tp(), 0, ExecutionContext(), weight=0.5)
+        scores = [item.score for item in scan]
+        assert scores == [0.5, 0.25, 0.05]
+
+    def test_invalid_weight(self, graph):
+        with pytest.raises(ExecutionError):
+            SortedScan(graph, tp(), 0, ExecutionContext(), weight=0.0)
+        with pytest.raises(ExecutionError):
+            SortedScan(graph, tp(), 0, ExecutionContext(), weight=1.5)
+
+
+class TestScanAccounting:
+    def test_objects_and_pulls_counted(self, graph):
+        context = ExecutionContext()
+        scan = SortedScan(graph, tp(), 0, context)
+        scan.drain()
+        assert context.answer_objects_created == 3
+        assert context.tuples_pulled == 3
+
+    def test_empty_pattern(self, graph):
+        context = ExecutionContext()
+        scan = SortedScan(graph, tp("missing"), 0, context)
+        assert scan.next() is None
+        assert scan.upper_bound() == -math.inf
+        assert context.answer_objects_created == 0
+
+    def test_repeated_variable_filtering(self):
+        kg = KnowledgeGraph()
+        kg.add("a", "knows", "a", score=1.0)
+        kg.add("a", "knows", "b", score=2.0)
+        pattern = TriplePattern(var("x"), "knows", var("x"))
+        scan = SortedScan(kg, pattern, 0, ExecutionContext())
+        items = scan.drain()
+        assert len(items) == 1
+        assert items[0].bindings == {"x": "a"}

@@ -1,0 +1,93 @@
+"""Unit tests for the Top-K sink."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pattern import TriplePattern, var
+from repro.operators.base import EXHAUSTED_BOUND, Operator
+from repro.operators.memory import ExecutionContext
+from repro.operators.scan import SortedScan
+from repro.operators.topk import TopK
+from repro.query.answer import PartialAnswer
+
+
+def tp(name="t"):
+    return TriplePattern(var("s"), "rdf:type", name)
+
+
+@pytest.fixture
+def graph():
+    kg = KnowledgeGraph()
+    for i, score in enumerate((10.0, 8.0, 6.0, 4.0, 2.0)):
+        kg.add(f"e{i}", "rdf:type", "t", score=score)
+    return kg
+
+
+class _StubOperator(Operator):
+    """Emits a fixed list of partial answers."""
+
+    def __init__(self, items):
+        self._items = list(items)
+        self._pos = 0
+
+    def next(self):
+        if self._pos >= len(self._items):
+            return None
+        item = self._items[self._pos]
+        self._pos += 1
+        return item
+
+    def upper_bound(self):
+        if self._pos >= len(self._items):
+            return EXHAUSTED_BOUND
+        return self._items[self._pos].score
+
+    @property
+    def patterns_covered(self):
+        return frozenset({0})
+
+
+def pa(binding, score):
+    return PartialAnswer({"s": binding}, score, frozenset({0}))
+
+
+class TestTopK:
+    def test_collects_k(self, graph):
+        scan = SortedScan(graph, tp(), 0, ExecutionContext())
+        answers = TopK(scan, 3).run()
+        assert len(answers) == 3
+        assert [a.as_dict()["s"] for a in answers] == ["e0", "e1", "e2"]
+
+    def test_fewer_than_k_available(self, graph):
+        scan = SortedScan(graph, tp(), 0, ExecutionContext())
+        answers = TopK(scan, 100).run()
+        assert len(answers) == 5
+
+    def test_k_must_be_positive(self, graph):
+        scan = SortedScan(graph, tp(), 0, ExecutionContext())
+        with pytest.raises(ExecutionError):
+            TopK(scan, 0)
+
+    def test_duplicate_bindings_deduped_keeping_first(self):
+        source = _StubOperator([pa("x", 1.0), pa("x", 0.8), pa("y", 0.5)])
+        answers = TopK(source, 10).run()
+        assert len(answers) == 2
+        assert answers[0].score == 1.0
+
+    def test_projection_dedups_on_projected_vars(self):
+        items = [
+            PartialAnswer({"s": "x", "o": "1"}, 1.0, frozenset({0})),
+            PartialAnswer({"s": "x", "o": "2"}, 0.9, frozenset({0})),
+        ]
+        answers = TopK(_StubOperator(items), 10, projection=("s",)).run()
+        assert len(answers) == 1
+        assert answers[0].as_dict() == {"s": "x"}
+
+    def test_out_of_order_input_detected(self):
+        source = _StubOperator([pa("a", 0.5), pa("b", 0.9)])
+        with pytest.raises(ExecutionError):
+            TopK(source, 10).run()
+
+    def test_empty_input(self):
+        assert TopK(_StubOperator([]), 5).run() == []

@@ -1,0 +1,167 @@
+"""Property-based tests for the statistics substrate (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.histogram import TwoBucketHistogram, stats_from_scores
+from repro.stats.order_statistics import expected_score_at_rank
+from repro.stats.piecewise import Bucket, PiecewiseConstantDensity, convolve
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+scores_lists = st.lists(
+    st.floats(min_value=0.001, max_value=1.0, allow_nan=False),
+    min_size=1,
+    max_size=60,
+).map(lambda xs: sorted([1.0] + xs, reverse=True))
+# Always include 1.0: normalised match lists always have max = 1.
+
+
+@st.composite
+def two_bucket_histograms(draw):
+    sigma = draw(st.floats(min_value=0.01, max_value=0.99))
+    beta = draw(st.floats(min_value=0.05, max_value=0.95))
+    count = draw(st.integers(min_value=1, max_value=10_000))
+    return TwoBucketHistogram(sigma=sigma, high=1.0, beta=beta, count=count)
+
+
+@st.composite
+def constant_densities(draw):
+    # Edges live on a 1/1000 grid so bucket widths stay realistic (>= 1e-3)
+    # — sub-epsilon widths are covered by dedicated point-mass unit tests.
+    n = draw(st.integers(min_value=1, max_value=4))
+    edge_grid = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=1000),
+            min_size=n + 1,
+            max_size=n + 1,
+            unique=True,
+        )
+    )
+    edges = sorted(e / 1000 for e in edge_grid)
+    masses = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1.0),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    buckets = [
+        Bucket(lo, hi, mass) for lo, hi, mass in zip(edges, edges[1:], masses)
+    ]
+    return PiecewiseConstantDensity(buckets).normalized()
+
+
+# ----------------------------------------------------------------------
+# stats_from_scores invariants
+# ----------------------------------------------------------------------
+class TestStatsInvariants:
+    @given(scores_lists)
+    @settings(max_examples=150)
+    def test_boundary_rank_captures_mass_fraction(self, scores):
+        stats = stats_from_scores(scores)
+        assert stats.s_r >= 0.8 * stats.s_m - 1e-9
+        if stats.r > 1:
+            assert sum(scores[: stats.r - 1]) < 0.8 * stats.s_m
+
+    @given(scores_lists)
+    @settings(max_examples=150)
+    def test_sigma_is_a_real_score(self, scores):
+        stats = stats_from_scores(scores)
+        assert stats.sigma_r in scores
+
+    @given(scores_lists)
+    @settings(max_examples=100)
+    def test_histogram_valid_density(self, scores):
+        hist = TwoBucketHistogram.from_scores(scores)
+        density = hist.to_density()
+        assert density.mass() == math.isclose(density.mass(), 1.0, abs_tol=1e-9) or True
+        assert abs(density.mass() - 1.0) < 1e-9
+
+
+# ----------------------------------------------------------------------
+# Density invariants
+# ----------------------------------------------------------------------
+class TestDensityInvariants:
+    @given(constant_densities(), st.floats(min_value=-0.5, max_value=1.5))
+    @settings(max_examples=150)
+    def test_cdf_monotone_bounded(self, density, x):
+        value = density.cdf(x)
+        assert -1e-9 <= value <= 1.0 + 1e-9
+        assert density.cdf(x + 0.1) >= value - 1e-9
+
+    @given(constant_densities(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=150)
+    def test_inverse_cdf_round_trip(self, density, p):
+        x = density.inverse_cdf(p)
+        lo, hi = density.support
+        assert lo - 1e-9 <= x <= hi + 1e-9
+        assert abs(density.cdf(x) - p) < 1e-6
+
+    @given(constant_densities())
+    @settings(max_examples=100)
+    def test_mean_within_support(self, density):
+        lo, hi = density.support
+        assert lo - 1e-9 <= density.mean() <= hi + 1e-9
+
+    @given(constant_densities(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100)
+    def test_partial_expectation_decreasing(self, density, c):
+        assert (
+            density.partial_expectation(c)
+            >= density.partial_expectation(c + 0.05) - 1e-9
+        )
+
+
+# ----------------------------------------------------------------------
+# Convolution invariants
+# ----------------------------------------------------------------------
+class TestConvolutionInvariants:
+    @given(constant_densities(), constant_densities())
+    @settings(max_examples=80, deadline=None)
+    def test_mass_preserved(self, d1, d2):
+        result = convolve(d1, d2)
+        assert abs(result.mass() - 1.0) < 1e-6
+
+    @given(constant_densities(), constant_densities())
+    @settings(max_examples=80, deadline=None)
+    def test_mean_additive(self, d1, d2):
+        result = convolve(d1, d2)
+        assert abs(result.mean() - (d1.mean() + d2.mean())) < 1e-6
+
+    @given(constant_densities(), constant_densities())
+    @settings(max_examples=80, deadline=None)
+    def test_support_additive(self, d1, d2):
+        result = convolve(d1, d2)
+        lo, hi = result.support
+        assert abs(lo - (d1.support[0] + d2.support[0])) < 1e-6
+        assert abs(hi - (d1.support[1] + d2.support[1])) < 1e-6
+
+    @given(constant_densities(), constant_densities())
+    @settings(max_examples=60, deadline=None)
+    def test_refit_preserves_count_and_support(self, d1, d2):
+        convolved = convolve(d1, d2)
+        refit = TwoBucketHistogram.refit(convolved, count=42)
+        assert refit.count == 42
+        assert 0.0 <= refit.sigma <= refit.high + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Order statistics invariants
+# ----------------------------------------------------------------------
+class TestOrderStatisticsInvariants:
+    @given(two_bucket_histograms(), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=100)
+    def test_rank_monotone(self, hist, n):
+        density = hist.to_density()
+        values = [expected_score_at_rank(density, r, n) for r in range(1, n + 1)]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    @given(two_bucket_histograms(), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=100)
+    def test_expected_scores_within_support(self, hist, n):
+        density = hist.to_density()
+        top = expected_score_at_rank(density, 1, n)
+        assert 0.0 <= top <= hist.high + 1e-9

@@ -1,0 +1,90 @@
+"""Unit tests for the mini-SPARQL parser."""
+
+import pytest
+
+from repro.errors import SparqlSyntaxError
+from repro.kg.pattern import TriplePattern, var
+from repro.query.sparql import format_sparql, parse_sparql
+
+
+class TestBasicParsing:
+    def test_single_pattern(self):
+        q = parse_sparql("SELECT ?s WHERE { ?s 'rdf:type' <singer> }")
+        assert q.patterns == (TriplePattern(var("s"), "rdf:type", "singer"),)
+        assert q.projection == (var("s"),)
+
+    def test_papers_running_example(self):
+        text = """
+        SELECT ?s WHERE{
+        ?s 'rdf:type' <singer>.
+        ?s 'rdf:type' <lyricist>.
+        ?s 'rdf:type' <guitarist>.
+        ?s 'rdf:type' <pianist>
+        }
+        """
+        q = parse_sparql(text)
+        assert len(q) == 4
+        assert all(p.predicate == "rdf:type" for p in q.patterns)
+
+    def test_trailing_dot_allowed(self):
+        q = parse_sparql("SELECT ?s WHERE { ?s <p> <o>. }")
+        assert len(q) == 1
+
+    def test_star_projection(self):
+        q = parse_sparql("SELECT * WHERE { ?s <p> ?o }")
+        assert set(q.projection) == {var("s"), var("o")}
+
+    def test_multiple_projection_variables(self):
+        q = parse_sparql("SELECT ?s ?o WHERE { ?s <p> ?o }")
+        assert q.projection == (var("s"), var("o"))
+
+    def test_case_insensitive_keywords(self):
+        q = parse_sparql("select ?s where { ?s <p> <o> }")
+        assert len(q) == 1
+
+    def test_bare_terms(self):
+        q = parse_sparql("SELECT ?s WHERE { ?s hasTag #intoyouvideo }")
+        assert q.patterns[0].object == "#intoyouvideo"
+
+    def test_double_quoted_terms(self):
+        q = parse_sparql('SELECT ?s WHERE { ?s "rdf:type" <x> }')
+        assert q.patterns[0].predicate == "rdf:type"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            "WHERE { ?s <p> <o> }",
+            "SELECT WHERE { ?s <p> <o> }",
+            "SELECT ?s { ?s <p> <o> }",
+            "SELECT ?s WHERE { }",
+            "SELECT ?s WHERE { ?s <p> }",
+            "SELECT ?s WHERE { ?s <p> <o>",
+            "SELECT ?s WHERE { ?s <p> <o> } trailing",
+            "SELECT ?s WHERE { ?s <p> '' }",
+        ],
+    )
+    def test_syntax_errors(self, text):
+        with pytest.raises(SparqlSyntaxError):
+            parse_sparql(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(SparqlSyntaxError) as excinfo:
+            parse_sparql("SELECT ?s WHERE { ?s <p> <o> } X Y")
+        assert excinfo.value.position is not None
+
+
+class TestRoundTrip:
+    def test_format_then_parse(self):
+        q = parse_sparql("SELECT ?s WHERE { ?s <rdf:type> <singer> . ?s <p> ?o }")
+        text = format_sparql(q)
+        q2 = parse_sparql(text)
+        assert q2 == q
+
+    def test_format_contains_all_patterns(self):
+        q = parse_sparql("SELECT ?s WHERE { ?s <a> <b> . ?s <c> <d> }")
+        text = format_sparql(q)
+        assert "<a>" in text and "<c>" in text

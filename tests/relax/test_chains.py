@@ -1,0 +1,112 @@
+"""Unit tests for chain relaxations (the §6 future-work extension)."""
+
+import pytest
+
+from repro.errors import RelaxationError
+from repro.kg.pattern import TriplePattern, var
+from repro.relax.chains import ChainRelaxationRule, ChainRuleSet
+
+
+def chain_rule(weight=0.5):
+    return ChainRelaxationRule(
+        domain=TriplePattern(var("s"), "bornIn", "paris"),
+        chain=(
+            TriplePattern(var("s"), "bornIn", var("m")),
+            TriplePattern(var("m"), "locatedIn", "paris"),
+        ),
+        weight=weight,
+    )
+
+
+class TestValidation:
+    def test_valid_rule(self):
+        rule = chain_rule()
+        assert rule.intermediate_variables == ("m",)
+
+    @pytest.mark.parametrize("weight", [0.0, -1.0, 1.0001])
+    def test_bad_weight(self, weight):
+        with pytest.raises(RelaxationError):
+            chain_rule(weight)
+
+    def test_single_pattern_chain_rejected(self):
+        with pytest.raises(RelaxationError):
+            ChainRelaxationRule(
+                domain=TriplePattern(var("s"), "p", "o"),
+                chain=(TriplePattern(var("s"), "q", var("m")),),
+                weight=0.5,
+            )
+
+    def test_missing_domain_variable_rejected(self):
+        with pytest.raises(RelaxationError):
+            ChainRelaxationRule(
+                domain=TriplePattern(var("s"), "p", "o"),
+                chain=(
+                    TriplePattern(var("x"), "q", var("m")),
+                    TriplePattern(var("m"), "r", "o"),
+                ),
+                weight=0.5,
+            )
+
+    def test_no_intermediate_variable_rejected(self):
+        with pytest.raises(RelaxationError):
+            ChainRelaxationRule(
+                domain=TriplePattern(var("s"), "p", "o"),
+                chain=(
+                    TriplePattern(var("s"), "q", "o"),
+                    TriplePattern(var("s"), "r", "o"),
+                ),
+                weight=0.5,
+            )
+
+    def test_disconnected_chain_rejected(self):
+        with pytest.raises(RelaxationError):
+            ChainRelaxationRule(
+                domain=TriplePattern(var("s"), "p", "o"),
+                chain=(
+                    TriplePattern(var("s"), "q", var("m")),
+                    TriplePattern(var("z"), "r", var("w")),
+                ),
+                weight=0.5,
+            )
+
+
+class TestRetargeting:
+    def test_rename_outer_variable(self):
+        rule = chain_rule()
+        retargeted = rule.rename_to(TriplePattern(var("x"), "bornIn", "paris"))
+        assert retargeted.chain[0] == TriplePattern(var("x"), "bornIn", var("m"))
+        assert retargeted.chain[1] == TriplePattern(var("m"), "locatedIn", "paris")
+
+    def test_rename_wrong_key_rejected(self):
+        with pytest.raises(RelaxationError):
+            chain_rule().rename_to(TriplePattern(var("s"), "diedIn", "paris"))
+
+
+class TestChainRuleSet:
+    def test_add_and_lookup(self):
+        rules = ChainRuleSet([chain_rule()])
+        assert len(rules) == 1
+        domain = TriplePattern(var("q"), "bornIn", "paris")
+        assert rules.has_rules_for(domain)
+        retargeted = rules.for_pattern(domain)
+        assert retargeted[0].domain == domain
+
+    def test_same_chain_replaces(self):
+        rules = ChainRuleSet()
+        rules.add(chain_rule(0.5))
+        rules.add(chain_rule(0.7))
+        assert len(list(rules)) == 1
+        assert next(iter(rules)).weight == 0.7
+
+    def test_sorted_by_weight(self):
+        other = ChainRelaxationRule(
+            domain=TriplePattern(var("s"), "bornIn", "paris"),
+            chain=(
+                TriplePattern(var("s"), "livesIn", var("m")),
+                TriplePattern(var("m"), "locatedIn", "paris"),
+            ),
+            weight=0.9,
+        )
+        rules = ChainRuleSet([chain_rule(0.5), other])
+        weights = [r.weight for r in rules.for_pattern(chain_rule().domain)]
+        assert weights == [0.9, 0.5]

@@ -1,0 +1,98 @@
+"""Unit tests for the Twitter co-occurrence relaxation scheme."""
+
+import pytest
+
+from repro.errors import RelaxationError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pattern import TriplePattern, var
+from repro.relax.cooccurrence import CooccurrenceIndex, mine_cooccurrence_rules
+
+
+@pytest.fixture
+def tweets_graph():
+    """4 tweets: #ariana appears in 3, #intoyouvideo in 2 (both with
+    #ariana), video in 1 (with both)."""
+    kg = KnowledgeGraph()
+    corpus = {
+        "t1": ["#ariana", "#intoyouvideo", "video"],
+        "t2": ["#ariana", "#intoyouvideo"],
+        "t3": ["#ariana", "dangerous"],
+        "t4": ["other", "dangerous"],
+    }
+    for tweet_id, terms in corpus.items():
+        for term in terms:
+            kg.add(tweet_id, "hasTag", term, score=1.0)
+    return kg
+
+
+class TestCooccurrenceIndex:
+    def test_counts(self, tweets_graph):
+        index = CooccurrenceIndex(tweets_graph, "hasTag")
+        assert index.count("#ariana") == 3
+        assert index.count("#intoyouvideo") == 2
+        assert index.count("nonexistent") == 0
+        assert index.n_groups == 4
+
+    def test_pair_counts_symmetric(self, tweets_graph):
+        index = CooccurrenceIndex(tweets_graph, "hasTag")
+        assert index.pair_count("#ariana", "#intoyouvideo") == 2
+        assert index.pair_count("#intoyouvideo", "#ariana") == 2
+
+    def test_pair_count_self(self, tweets_graph):
+        index = CooccurrenceIndex(tweets_graph, "hasTag")
+        assert index.pair_count("#ariana", "#ariana") == 3
+
+    def test_weight_formula(self, tweets_graph):
+        # w = #tweets(T1 ∧ T2) / #tweets(T1) — the paper's §4.2 formula.
+        index = CooccurrenceIndex(tweets_graph, "hasTag")
+        assert index.weight("#intoyouvideo", "#ariana") == pytest.approx(1.0)
+        assert index.weight("#ariana", "#intoyouvideo") == pytest.approx(2 / 3)
+        assert index.weight("nonexistent", "#ariana") == 0.0
+
+    def test_weight_asymmetric(self, tweets_graph):
+        index = CooccurrenceIndex(tweets_graph, "hasTag")
+        assert index.weight("video", "#ariana") != index.weight("#ariana", "video")
+
+    def test_neighbours_sorted(self, tweets_graph):
+        index = CooccurrenceIndex(tweets_graph, "hasTag")
+        neighbours = index.neighbours("#ariana")
+        weights = [w for _, w in neighbours]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_other_predicates_ignored(self, tweets_graph):
+        tweets_graph.add("t1", "postedBy", "user1")
+        index = CooccurrenceIndex(tweets_graph, "hasTag")
+        assert index.count("user1") == 0
+
+
+class TestMining:
+    def test_rules_built_with_formula_weights(self, tweets_graph):
+        rules = mine_cooccurrence_rules(tweets_graph, "hasTag", min_weight=0.1)
+        pattern = TriplePattern(var("s"), "hasTag", "#ariana")
+        by_target = {r.range.object: r.weight for r in rules.for_pattern(pattern)}
+        assert by_target["#intoyouvideo"] == pytest.approx(2 / 3)
+
+    def test_weight_one_rules_excluded(self, tweets_graph):
+        # #intoyouvideo -> #ariana has weight 1.0: excluded (mined rules
+        # must strictly reduce scores).
+        rules = mine_cooccurrence_rules(tweets_graph, "hasTag", min_weight=0.1)
+        pattern = TriplePattern(var("s"), "hasTag", "#intoyouvideo")
+        targets = {r.range.object for r in rules.for_pattern(pattern)}
+        assert "#ariana" not in targets
+
+    def test_items_filter(self, tweets_graph):
+        rules = mine_cooccurrence_rules(
+            tweets_graph, "hasTag", items=["#ariana"], min_weight=0.1
+        )
+        assert all(r.domain.object == "#ariana" for r in rules)
+
+    def test_max_rules_per_item(self, tweets_graph):
+        rules = mine_cooccurrence_rules(
+            tweets_graph, "hasTag", min_weight=0.05, max_rules_per_item=1
+        )
+        pattern = TriplePattern(var("s"), "hasTag", "#ariana")
+        assert len(rules.for_pattern(pattern)) <= 1
+
+    def test_bad_min_weight(self, tweets_graph):
+        with pytest.raises(RelaxationError):
+            mine_cooccurrence_rules(tweets_graph, "hasTag", min_weight=-0.1)

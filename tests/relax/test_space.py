@@ -1,0 +1,47 @@
+"""Unit tests for relaxation-space summaries."""
+
+import pytest
+
+from repro.kg.pattern import TriplePattern, var
+from repro.query.query import TriplePatternQuery
+from repro.relax.rules import RelaxationRule, RuleSet
+from repro.relax.space import summarize
+
+
+def tp(name):
+    return TriplePattern(var("s"), "rdf:type", name)
+
+
+@pytest.fixture
+def rules():
+    rs = RuleSet()
+    rs.add(RelaxationRule(tp("a"), tp("a1"), 0.9))
+    rs.add(RelaxationRule(tp("a"), tp("a2"), 0.5))
+    rs.add(RelaxationRule(tp("b"), tp("b1"), 0.4))
+    return rs
+
+
+class TestSummarize:
+    def test_counts_and_total(self, rules):
+        q = TriplePatternQuery((tp("a"), tp("b"), tp("c")))
+        summary = summarize(q, rules)
+        assert [p.n_rules for p in summary.per_pattern] == [2, 1, 0]
+        assert summary.total_variants == 3 * 2 * 1
+
+    def test_relaxable_flags(self, rules):
+        q = TriplePatternQuery((tp("a"), tp("c")))
+        summary = summarize(q, rules)
+        assert summary.per_pattern[0].relaxable
+        assert not summary.per_pattern[1].relaxable
+        assert summary.n_relaxable_patterns == 1
+
+    def test_best_weights(self, rules):
+        q = TriplePatternQuery((tp("a"), tp("b")))
+        summary = summarize(q, rules)
+        assert summary.per_pattern[0].best_weight == 0.9
+        assert summary.per_pattern[1].best_weight == 0.4
+        assert summary.max_weight_product == pytest.approx(0.36)
+
+    def test_unrelaxable_ignored_in_product(self, rules):
+        q = TriplePatternQuery((tp("a"), tp("c")))
+        assert summarize(q, rules).max_weight_product == pytest.approx(0.9)

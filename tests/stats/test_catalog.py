@@ -1,0 +1,87 @@
+"""Unit tests for the statistics catalog."""
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pattern import TriplePattern, var
+from repro.query.query import TriplePatternQuery
+from repro.stats.catalog import StatisticsCatalog
+from repro.stats.histogram import NBucketHistogram, TwoBucketHistogram
+
+
+def tp(name, v="s"):
+    return TriplePattern(var(v), "rdf:type", name)
+
+
+@pytest.fixture
+def graph():
+    kg = KnowledgeGraph()
+    scores = [100, 80, 40, 10, 5, 2, 1]
+    for i, score in enumerate(scores):
+        kg.add(f"e{i}", "rdf:type", "t1", score=score)
+    for i in range(3):
+        kg.add(f"e{i}", "rdf:type", "t2", score=10 * (i + 1))
+    return kg
+
+
+class TestPatternStats:
+    def test_match_count(self, graph):
+        catalog = StatisticsCatalog(graph)
+        assert catalog.match_count(tp("t1")) == 7
+        assert catalog.match_count(tp("missing")) == 0
+
+    def test_stats_are_cached_by_key(self, graph):
+        catalog = StatisticsCatalog(graph)
+        s1 = catalog.pattern_stats(tp("t1", "s"))
+        s2 = catalog.pattern_stats(tp("t1", "x"))
+        assert s1 is s2
+
+    def test_stats_values(self, graph):
+        catalog = StatisticsCatalog(graph)
+        stats = catalog.pattern_stats(tp("t1"))
+        assert stats.m == 7
+        assert 0 < stats.sigma_r <= 1.0
+        assert stats.s_r <= stats.s_m
+
+
+class TestHistograms:
+    def test_two_bucket_default(self, graph):
+        catalog = StatisticsCatalog(graph)
+        hist = catalog.histogram(tp("t1"))
+        assert isinstance(hist, TwoBucketHistogram)
+
+    def test_n_bucket_mode(self, graph):
+        catalog = StatisticsCatalog(graph, histogram_kind="n-bucket", n_buckets=4)
+        hist = catalog.histogram(tp("t1"))
+        assert isinstance(hist, NBucketHistogram)
+        assert len(hist.masses) == 4
+
+    def test_unknown_kind_rejected(self, graph):
+        with pytest.raises(StatisticsError):
+            StatisticsCatalog(graph, histogram_kind="wavelet")  # type: ignore[arg-type]
+
+    def test_degenerate_for_empty_pattern(self, graph):
+        catalog = StatisticsCatalog(graph)
+        assert catalog.histogram(tp("missing")).is_degenerate
+
+
+class TestCardinalityAndPrecompute:
+    def test_cardinality_passthrough(self, graph):
+        catalog = StatisticsCatalog(graph)
+        q = TriplePatternQuery((tp("t1"), tp("t2")))
+        assert catalog.cardinality(q) == 3
+
+    def test_precompute_summary(self, graph):
+        catalog = StatisticsCatalog(graph)
+        q = TriplePatternQuery((tp("t1"), tp("t2")))
+        summary = catalog.precompute(queries=[q])
+        assert summary["patterns"] == 2
+        assert summary["cardinality_cache"] >= 2
+
+    def test_invalidate_clears(self, graph):
+        catalog = StatisticsCatalog(graph)
+        catalog.histogram(tp("t1"))
+        catalog.invalidate()
+        graph.add("new", "rdf:type", "t1", score=500)
+        assert catalog.match_count(tp("t1")) == 8

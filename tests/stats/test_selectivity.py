@@ -1,0 +1,118 @@
+"""Unit tests for join cardinality estimation."""
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pattern import TriplePattern, var
+from repro.query.query import TriplePatternQuery
+from repro.stats.selectivity import JoinCardinalityEstimator
+
+
+def tp(name, v="s"):
+    return TriplePattern(var(v), "rdf:type", name)
+
+
+@pytest.fixture
+def graph():
+    kg = KnowledgeGraph()
+    # t1: a b c ; t2: b c d ; t3: c d e
+    for e in ("a", "b", "c"):
+        kg.add(e, "rdf:type", "t1")
+    for e in ("b", "c", "d"):
+        kg.add(e, "rdf:type", "t2")
+    for e in ("c", "d", "e"):
+        kg.add(e, "rdf:type", "t3")
+    return kg
+
+
+class TestExactMode:
+    def test_single_pattern(self, graph):
+        est = JoinCardinalityEstimator(graph, "exact")
+        assert est.cardinality(TriplePatternQuery((tp("t1"),))) == 3
+
+    def test_two_way_join(self, graph):
+        est = JoinCardinalityEstimator(graph, "exact")
+        q = TriplePatternQuery((tp("t1"), tp("t2")))
+        assert est.cardinality(q) == 2  # {b, c}
+
+    def test_three_way_join(self, graph):
+        est = JoinCardinalityEstimator(graph, "exact")
+        q = TriplePatternQuery((tp("t1"), tp("t2"), tp("t3")))
+        assert est.cardinality(q) == 1  # {c}
+
+    def test_empty_join(self, graph):
+        graph.add("z", "rdf:type", "t_only_z")
+        est = JoinCardinalityEstimator(graph, "exact")
+        q = TriplePatternQuery((tp("t1"), tp("t_only_z")))
+        assert est.cardinality(q) == 0
+
+    def test_order_invariance(self, graph):
+        est = JoinCardinalityEstimator(graph, "exact")
+        a = est.cardinality(TriplePatternQuery((tp("t1"), tp("t2"))))
+        b = est.cardinality(TriplePatternQuery((tp("t2"), tp("t1"))))
+        assert a == b
+
+    def test_cartesian_product(self, graph):
+        est = JoinCardinalityEstimator(graph, "exact")
+        q = TriplePatternQuery((tp("t1", "s"), tp("t2", "other")))
+        assert est.cardinality(q) == 9
+
+    def test_prefix_cardinalities(self, graph):
+        est = JoinCardinalityEstimator(graph, "exact")
+        q = TriplePatternQuery((tp("t1"), tp("t2"), tp("t3")))
+        assert est.prefix_cardinalities(q) == [3, 2, 1]
+
+    def test_cache_grows_and_hits(self, graph):
+        est = JoinCardinalityEstimator(graph, "exact")
+        q = TriplePatternQuery((tp("t1"), tp("t2")))
+        est.cardinality(q)
+        size = est.cache_size
+        est.cardinality(q)
+        assert est.cache_size == size
+
+    def test_precompute(self, graph):
+        est = JoinCardinalityEstimator(graph, "exact")
+        q = TriplePatternQuery((tp("t1"), tp("t2"), tp("t3")))
+        entries = est.precompute([q])
+        assert entries >= 3
+
+    def test_selectivity_definition(self, graph):
+        est = JoinCardinalityEstimator(graph, "exact")
+        phi = est.selectivity([tp("t1")], tp("t2"))
+        # |t1 ⋈ t2| = 2, |t1| = 3, m(t2) = 3 -> phi = 2/9
+        assert phi == pytest.approx(2 / 9)
+
+    def test_chain_join_on_objects(self):
+        kg = KnowledgeGraph()
+        kg.add("a", "knows", "b")
+        kg.add("b", "knows", "c")
+        kg.add("c", "knows", "d")
+        est = JoinCardinalityEstimator(kg, "exact")
+        p1 = TriplePattern(var("x"), "knows", var("y"))
+        p2 = TriplePattern(var("y"), "knows", var("z"))
+        q = TriplePatternQuery((p1, p2))
+        assert est.cardinality(q) == 2  # a-b-c, b-c-d
+
+
+class TestIndependenceMode:
+    def test_single_pattern_exactish(self, graph):
+        est = JoinCardinalityEstimator(graph, "independence")
+        assert est.cardinality(TriplePatternQuery((tp("t1"),))) == 3
+
+    def test_join_estimate_formula(self, graph):
+        est = JoinCardinalityEstimator(graph, "independence")
+        q = TriplePatternQuery((tp("t1"), tp("t2")))
+        # 3 * 3 / max(V=3, V=3) = 3
+        assert est.cardinality(q) == 3
+
+    def test_never_negative(self, graph):
+        est = JoinCardinalityEstimator(graph, "independence")
+        q = TriplePatternQuery((tp("t1"), tp("t2"), tp("t3")))
+        assert est.cardinality(q) >= 0
+
+
+class TestValidation:
+    def test_unknown_mode(self, graph):
+        with pytest.raises(StatisticsError):
+            JoinCardinalityEstimator(graph, "magic")  # type: ignore[arg-type]

@@ -1,0 +1,50 @@
+"""Tests for the exception hierarchy: every library error is a ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.KnowledgeGraphError,
+            errors.PatternError,
+            errors.QueryError,
+            errors.SparqlSyntaxError,
+            errors.RelaxationError,
+            errors.StatisticsError,
+            errors.HistogramError,
+            errors.EstimationError,
+            errors.PlanError,
+            errors.ExecutionError,
+            errors.DatasetError,
+            errors.ExperimentError,
+        ],
+    )
+    def test_subclasses_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_sparql_error_is_query_error(self):
+        assert issubclass(errors.SparqlSyntaxError, errors.QueryError)
+
+    def test_histogram_and_estimation_are_statistics_errors(self):
+        assert issubclass(errors.HistogramError, errors.StatisticsError)
+        assert issubclass(errors.EstimationError, errors.StatisticsError)
+
+    def test_sparql_error_position_formatting(self):
+        error = errors.SparqlSyntaxError("bad token", position=17)
+        assert "offset 17" in str(error)
+        assert error.position == 17
+
+    def test_sparql_error_without_position(self):
+        error = errors.SparqlSyntaxError("bad token")
+        assert error.position is None
+
+    def test_one_except_catches_everything(self):
+        """The documented pattern: one except clause for the whole family."""
+        from repro.kg.triple import Triple
+
+        with pytest.raises(errors.ReproError):
+            Triple("", "p", "o")
