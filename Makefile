@@ -1,0 +1,25 @@
+# Spec-QP reproduction — common entry points.
+#
+#   make test    tier-1 verification (unit + property + integration + benchmarks)
+#   make bench   benchmark suite only, with timing tables
+#   make docs    docs link check + run every runnable doc surface
+#   make workload  demo the batch-serving layer (cold vs warm)
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench docs workload
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q --benchmark-enable
+
+docs:
+	$(PYTHON) scripts/check_docs_links.py
+	$(PYTHON) -c "import repro; assert repro.__doc__ and 'Quickstart' in repro.__doc__"
+	$(PYTHON) examples/quickstart.py > /dev/null && echo "quickstart OK"
+
+workload:
+	$(PYTHON) -m repro.experiments workload --scale small --mode both

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Docs link check: every relative link in the Markdown docs must resolve.
+
+Scans README.md and docs/*.md (the hand-written documentation suite —
+driver-maintained artifacts like PAPERS.md/SNIPPETS.md are out of scope)
+for ``[text](target)`` links, ignores external URLs and pure anchors,
+and fails (exit 1) listing every target that does not exist relative to
+the linking file.  Run via ``make docs`` or CI.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_doc_files(root: Path) -> list[Path]:
+    files = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def broken_links(doc: Path, root: Path) -> list[str]:
+    problems = []
+    for match in LINK.finditer(doc.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES) or target.startswith("<"):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (doc.parent / path).resolve()
+        if not resolved.exists():
+            problems.append(f"{doc.relative_to(root)}: broken link -> {target}")
+    return problems
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    docs = iter_doc_files(root)
+    if not docs:
+        print("no Markdown files found", file=sys.stderr)
+        return 1
+    problems = [p for doc in docs for p in broken_links(doc, root)]
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(docs)} files, {len(problems)} broken links")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,7 @@ from repro.core.executor import ExecutionResult, PlanExecutor
 from repro.core.plan import QueryPlan
 from repro.core.planner import PlannerDecision, SpecQPPlanner
 from repro.kg.graph import KnowledgeGraph
+from repro.kg.index import MatchListCacheHook
 from repro.query.answer import Answer
 from repro.query.query import TriplePatternQuery
 from repro.query.sparql import parse_sparql
@@ -77,6 +78,16 @@ class SpecQPEngine:
     chain_rules:
         Optional chain relaxations (§6 future-work extension); processed
         as extra Incremental Merge inputs whenever a pattern is relaxed.
+    match_list_cache:
+        Optionally route the graph's match-list lookups through a shared
+        external cache (see :class:`repro.service.MatchListCache`); the
+        engine attaches it to *graph* on construction.  Several engines
+        over the same graph may share one cache — that is how
+        :class:`repro.service.WorkloadRunner` amortises sorting across a
+        batch of queries.  Attaching a *different* cache than the one
+        already on the graph raises, because it would silently reroute
+        every other engine's lookups; engines built without this
+        argument simply use whatever the graph already has attached.
     """
 
     def __init__(
@@ -86,10 +97,20 @@ class SpecQPEngine:
         config: EngineConfig | None = None,
         catalog: StatisticsCatalog | None = None,
         chain_rules: "ChainRuleSet | None" = None,
+        match_list_cache: MatchListCacheHook | None = None,
     ) -> None:
         self.config = config or EngineConfig()
         self.graph = graph
         self.rules = rules
+        self.match_list_cache = match_list_cache
+        if match_list_cache is not None:
+            attached = graph.match_list_cache
+            if attached is not None and attached is not match_list_cache:
+                raise ValueError(
+                    "graph already has a different match-list cache attached; "
+                    "share one cache across engines or detach the old one first"
+                )
+            graph.attach_match_list_cache(match_list_cache)
         self.catalog = catalog or StatisticsCatalog(
             graph,
             mass_fraction=self.config.mass_fraction,

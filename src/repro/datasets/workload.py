@@ -9,6 +9,7 @@ pattern).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator, Sequence
 
 from repro.errors import DatasetError
 from repro.kg.graph import KnowledgeGraph
@@ -39,6 +40,54 @@ class Workload:
         for query in self.queries:
             grouped.setdefault(len(query), []).append(query)
         return dict(sorted(grouped.items()))
+
+    # ------------------------------------------------------------------
+    # Batch iteration (the service layer's input shapes)
+    # ------------------------------------------------------------------
+    def iter_batches(
+        self,
+        batch_size: int,
+        queries: Sequence[TriplePatternQuery] | None = None,
+    ) -> Iterator[list[TriplePatternQuery]]:
+        """Yield successive batches of at most *batch_size* queries.
+
+        The final batch may be short.  Pass *queries* to batch an
+        alternative stream (e.g. :meth:`stretched`).
+        """
+        if batch_size < 1:
+            raise DatasetError(f"batch_size must be >= 1, got {batch_size}")
+        source = list(queries if queries is not None else self.queries)
+        for start in range(0, len(source), batch_size):
+            yield source[start : start + batch_size]
+
+    def stretched(self, n_queries: int) -> list[TriplePatternQuery]:
+        """At least *n_queries* queries, cycling the set as needed.
+
+        Repeats keep their original name plus a round suffix so batch
+        reports stay attributable.  Cycling is the standard way to drive a
+        workload-scale run from a fixed query set — repeats are exactly
+        what shared caches exist to exploit.
+        """
+        if n_queries < 1:
+            raise DatasetError(f"n_queries must be >= 1, got {n_queries}")
+        stream: list[TriplePatternQuery] = []
+        round_no = 0
+        while len(stream) < n_queries:
+            for query in self.queries:
+                if round_no == 0:
+                    stream.append(query)
+                else:
+                    stream.append(
+                        TriplePatternQuery(
+                            query.patterns,
+                            query.projection,
+                            name=f"{query.name}#r{round_no}",
+                        )
+                    )
+                if len(stream) == n_queries:
+                    break
+            round_no += 1
+        return stream
 
     def validate(
         self,

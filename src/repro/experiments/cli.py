@@ -5,6 +5,7 @@ Examples::
     spec-qp table2 --dataset xkg
     spec-qp all --dataset twitter --scale small
     spec-qp fig7 --dataset xkg --ks 10 20
+    spec-qp workload --min-queries 200 --workers 4 --mode both
 """
 
 from __future__ import annotations
@@ -26,7 +27,9 @@ from repro.experiments.figures import render as render_figure
 from repro.experiments.session import ExperimentSession
 from repro.metrics.efficiency import TimingProtocol
 
-EXPERIMENTS = ("table2", "table3", "table4", "fig6", "fig7", "fig8", "fig9", "all")
+EXPERIMENTS = (
+    "table2", "table3", "table4", "fig6", "fig7", "fig8", "fig9", "all", "workload"
+)
 
 #: Scales for quick runs vs full reproduction.
 SCALES = {
@@ -101,6 +104,37 @@ def run_experiment(
     raise ExperimentError(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
 
 
+def run_workload(args: "argparse.Namespace") -> int:
+    """The ``workload`` subcommand: batch serving through the service layer."""
+    from repro.service import WorkloadRunner
+
+    workload = build_workload(args.dataset, args.scale, args.seed)
+    queries = workload.stretched(max(args.min_queries, len(workload.queries)))
+    runner = WorkloadRunner(workload, n_workers=args.workers)
+    print(f"# workload: {workload.summary()}")
+    print(f"# batch: {len(queries)} queries, k={args.k}, mode={args.mode}")
+
+    if args.mode == "both":
+        comparison = runner.compare(queries, k=args.k)
+        print()
+        print(comparison["cold"].render())  # type: ignore[union-attr]
+        print()
+        print(comparison["warm"].render())  # type: ignore[union-attr]
+        print()
+        print(f"warm-over-cold speed-up: {comparison['speedup']:.2f}x")
+        if args.workers > 1:
+            print(
+                f"# note: warm ran on {args.workers} workers, cold is always "
+                "sequential; use --workers 1 to attribute the speed-up to "
+                "caching alone"
+            )
+    else:
+        report = runner.run(queries, k=args.k, mode=args.mode)
+        print()
+        print(report.render())
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="spec-qp",
@@ -121,7 +155,36 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--chart", action="store_true",
         help="append ASCII bar charts to figure outputs",
     )
+    service = parser.add_argument_group(
+        "workload", "options for the batch-serving 'workload' experiment"
+    )
+    service.add_argument(
+        "--min-queries", type=int, default=100,
+        help="stretch the query set to at least this many queries (default 100)",
+    )
+    service.add_argument(
+        "--workers", type=int, default=1,
+        help="worker threads for warm batches (default 1)",
+    )
+    service.add_argument(
+        "--k", type=int, default=10, help="top-k per query (default 10)"
+    )
+    service.add_argument(
+        "--mode", choices=("warm", "cold", "both"), default="warm",
+        help="shared caches (warm), per-query rebuild (cold), or both",
+    )
     args = parser.parse_args(argv)
+
+    try:
+        return _dispatch(args)
+    except ExperimentError as error:
+        print(f"spec-qp: error: {error}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: "argparse.Namespace") -> int:
+    if args.experiment == "workload":
+        return run_workload(args)
 
     workload = build_workload(args.dataset, args.scale, args.seed)
     # Paper protocol: discard warm-up runs.  Keep the last 3 runs when

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from repro.errors import KnowledgeGraphError
-from repro.kg.index import MatchList, PatternIndex
+from repro.kg.index import MatchList, MatchListCacheHook, PatternIndex
 from repro.kg.pattern import TriplePattern
 from repro.kg.triple import Triple
 
@@ -19,9 +19,9 @@ from repro.kg.triple import Triple
 class KnowledgeGraph:
     """A set of scored triples with pattern-match indexes.
 
-    The graph is *append/update only*: adding an existing triple replaces
-    its score.  Indexes are built lazily and invalidated on mutation, so
-    bulk loading stays linear.
+    Adding an existing triple replaces its score; triples can also be
+    removed.  Indexes are built lazily and invalidated on mutation (via
+    the :attr:`version` counter), so bulk loading stays linear.
 
     >>> kg = KnowledgeGraph()
     >>> kg.add("shakira", "rdf:type", "singer", score=120.0)
@@ -143,6 +143,38 @@ class KnowledgeGraph:
         sorted descending).  Cached per pattern key.
         """
         return self._index.match_list(pattern)
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    def attach_match_list_cache(self, cache: MatchListCacheHook) -> None:
+        """Route match-list lookups through an external (shared) cache.
+
+        Used by :class:`repro.service.WorkloadRunner` to share one bounded
+        LRU across every query of a batch; see
+        :meth:`repro.kg.index.PatternIndex.attach_match_list_cache`.
+        """
+        self._index.attach_match_list_cache(cache)
+
+    def detach_match_list_cache(self) -> None:
+        self._index.detach_match_list_cache()
+
+    @property
+    def match_list_cache(self) -> MatchListCacheHook | None:
+        """The attached external match-list cache, if any."""
+        return self._index.match_list_cache
+
+    def invalidate_caches(self) -> None:
+        """Drop all lazily built indexes and match lists.
+
+        Mutations invalidate automatically (via :attr:`version`); this is
+        the explicit cold-start path used for cold-cache measurements.
+        """
+        self._index.invalidate()
+
+    def index_stats(self) -> dict[str, int]:
+        """Diagnostics from the underlying pattern index."""
+        return self._index.stats()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"KnowledgeGraph(name={self.name!r}, size={self.size})"

@@ -23,7 +23,7 @@ also precomputes the summary statistics the two-bucket histograms need.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Protocol, Sequence
 
 from repro.errors import KnowledgeGraphError
 from repro.kg.pattern import TriplePattern
@@ -34,6 +34,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Which positions are bound: a 3-bit mask over (S, P, O).
 KeyShape = tuple[bool, bool, bool]
+
+#: A concrete pattern key: ``(s, p, o)`` with ``None`` at variable positions.
+PatternKey = tuple[str | None, str | None, str | None]
+
+
+class MatchListCacheHook(Protocol):
+    """What :class:`PatternIndex` needs from an external match-list cache.
+
+    The index passes the graph version with every call so the cache can
+    drop entries built against an older graph without the index having to
+    orchestrate invalidation.  :class:`repro.service.MatchListCache` is the
+    canonical implementation (bounded LRU with hit/miss statistics); any
+    object with these two methods works.
+    """
+
+    def get(self, key: PatternKey, version: int) -> "MatchList | None": ...
+
+    def put(self, key: PatternKey, version: int, match_list: "MatchList") -> None: ...
 
 
 @dataclass(frozen=True)
@@ -112,7 +130,57 @@ class PatternIndex:
         self._graph = graph
         self._built_version = -1
         self._shape_indexes: dict[KeyShape, dict[tuple[str, ...], list[Triple]]] = {}
-        self._match_lists: dict[tuple[str | None, str | None, str | None], MatchList] = {}
+        self._match_lists: dict[PatternKey, MatchList] = {}
+        self._external_cache: MatchListCacheHook | None = None
+
+    # ------------------------------------------------------------------
+    # Cache hooks
+    # ------------------------------------------------------------------
+    def attach_match_list_cache(self, cache: MatchListCacheHook) -> None:
+        """Serve match lists through *cache* instead of the internal dict.
+
+        The attached cache sees every lookup together with the current
+        graph version, so a bounded, shared, statistics-reporting cache
+        (e.g. one shared by a whole workload runner) can replace the
+        unbounded per-index dict.  Attaching drops the internal match-list
+        cache so hit/miss accounting in *cache* is exact.
+
+        Entries are version-tagged but carry no graph identity, so a cache
+        instance must serve exactly one graph: if *cache* exposes a
+        ``bind`` method it is called with the graph and may refuse a
+        second graph (``MatchListCache`` does).
+        """
+        bind = getattr(cache, "bind", None)
+        if callable(bind):
+            bind(self._graph)
+        self._external_cache = cache
+        self._match_lists.clear()
+
+    def detach_match_list_cache(self) -> None:
+        """Go back to the internal unbounded match-list dict."""
+        self._external_cache = None
+
+    @property
+    def match_list_cache(self) -> MatchListCacheHook | None:
+        return self._external_cache
+
+    def invalidate(self) -> None:
+        """Drop every shape index and cached match list unconditionally.
+
+        Mutation is detected automatically via the graph's version counter;
+        this explicit path exists for callers that want cold-cache
+        measurements or to bound memory without mutating the graph.  An
+        attached external cache is emptied too (via its ``clear`` method,
+        if it has one) — version tags alone would let its entries survive,
+        since the graph version does not change here.
+        """
+        self._shape_indexes.clear()
+        self._match_lists.clear()
+        self._built_version = -1
+        if self._external_cache is not None:
+            clear = getattr(self._external_cache, "clear", None)
+            if callable(clear):
+                clear()
 
     # ------------------------------------------------------------------
     def _invalidate_if_stale(self) -> None:
@@ -157,22 +225,36 @@ class PatternIndex:
         return index.get(bound, [])
 
     def match_list(self, pattern: TriplePattern) -> MatchList:
-        """Score-sorted match list for *pattern*, cached by key."""
+        """Score-sorted match list for *pattern*, cached by key.
+
+        With an attached external cache the lookup goes through it
+        (version-tagged, so stale entries miss); otherwise the internal
+        per-index dict serves repeats until the graph mutates.
+        """
         self._invalidate_if_stale()
         key = pattern.key()
+        if self._external_cache is not None:
+            cached = self._external_cache.get(key, self._built_version)
+            if cached is None:
+                cached = self._build_match_list(pattern, key)
+                self._external_cache.put(key, self._built_version, cached)
+            return cached
         cached = self._match_lists.get(key)
         if cached is None:
-            if len(set(pattern.variable_names)) != len(
-                [t for t in pattern.terms if not isinstance(t, str)]
-            ):
-                # Repeated variables: fall back to full predicate matching
-                # so that e.g. (?x, p, ?x) only keeps diagonal triples.
-                matches = [t for t in self.candidates(key) if pattern.matches(t)]
-            else:
-                matches = self.candidates(key)
-            cached = MatchList.from_triples(key, matches)
+            cached = self._build_match_list(pattern, key)
             self._match_lists[key] = cached
         return cached
+
+    def _build_match_list(self, pattern: TriplePattern, key: PatternKey) -> MatchList:
+        if len(set(pattern.variable_names)) != len(
+            [t for t in pattern.terms if not isinstance(t, str)]
+        ):
+            # Repeated variables: fall back to full predicate matching
+            # so that e.g. (?x, p, ?x) only keeps diagonal triples.
+            matches = [t for t in self.candidates(key) if pattern.matches(t)]
+        else:
+            matches = self.candidates(key)
+        return MatchList.from_triples(key, matches)
 
     def stats(self) -> dict[str, int]:
         """Diagnostics: how many shape indexes / match lists are cached."""

@@ -1,0 +1,35 @@
+"""Workload-scale batch execution: shared caches, worker pools, reports.
+
+The single-query path (:class:`~repro.core.engine.SpecQPEngine`) answers
+one query; this package serves *batches* through one shared substrate:
+
+* :class:`MatchListCache` — bounded, thread-safe, version-aware LRU over
+  score-sorted match lists, shared by every query of a batch.
+* :class:`WorkloadRunner` — executes batches sequentially or on a thread
+  pool (per-worker engines, shared catalog + cache), warm or cold.
+* :class:`WorkloadReport` — latency percentiles, queries/second, cache
+  hit rates and the PLANGEN plan-decision mix for a batch.
+
+Quickstart::
+
+    from repro.datasets import XKGConfig, generate_xkg
+    from repro.service import WorkloadRunner
+
+    workload = generate_xkg(XKGConfig(n_entities=800, n_queries=24))
+    runner = WorkloadRunner(workload, n_workers=4)
+    report = runner.run(workload.stretched(100))
+    print(report.render())
+"""
+
+from repro.service.cache import CacheStats, MatchListCache
+from repro.service.report import QueryOutcome, WorkloadReport, percentile
+from repro.service.runner import WorkloadRunner
+
+__all__ = [
+    "CacheStats",
+    "MatchListCache",
+    "QueryOutcome",
+    "WorkloadReport",
+    "WorkloadRunner",
+    "percentile",
+]

@@ -1,0 +1,303 @@
+"""Batch execution of query workloads over one shared engine substrate.
+
+The reproduction's single-query path builds everything per engine: the
+statistics catalog, the shape indexes, the sorted match lists.  A serving
+system executes *workloads* — hundreds of queries against one graph — so
+those structures must be built once and shared.  :class:`WorkloadRunner`
+owns that sharing:
+
+* one :class:`~repro.stats.catalog.StatisticsCatalog`, built (and
+  precomputed over the workload's patterns) once per graph version;
+* one :class:`~repro.service.cache.MatchListCache` attached to the graph,
+  so identical triple patterns across queries never re-sort;
+* one plan cache: PLANGEN is deterministic given the catalog, so repeated
+  queries (the normal case in served traffic) skip planning entirely;
+* optionally a :class:`~concurrent.futures.ThreadPoolExecutor`, with one
+  :class:`~repro.core.engine.SpecQPEngine` per worker thread (operator
+  state is per-query, planner/executor objects per worker) over the shared
+  catalog and cache.
+
+``run(mode="cold")`` is the control: caches dropped and the catalog
+rebuilt before every query, i.e. the per-query cost the single-query path
+pays.  :meth:`compare` runs both and reports the speed-up.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Literal, Sequence
+
+from repro.core.config import EngineConfig
+from repro.core.engine import QueryResult, SpecQPEngine
+from repro.datasets.workload import Workload
+from repro.errors import ExperimentError
+from repro.query.query import TriplePatternQuery
+from repro.service.cache import DEFAULT_CAPACITY, CacheStats, MatchListCache
+from repro.service.report import QueryOutcome, WorkloadReport
+from repro.stats.catalog import StatisticsCatalog
+
+CacheMode = Literal["warm", "cold"]
+
+
+class WorkloadRunner:
+    """Executes batches of queries through one shared Spec-QP substrate.
+
+    Parameters
+    ----------
+    workload:
+        The graph + rules + default query set to serve.
+    config:
+        Engine knobs shared by all workers; defaults reproduce the paper.
+    n_workers:
+        Worker threads for ``mode="warm"`` batches.  ``1`` executes
+        inline; higher values share the catalog and match-list cache
+        across per-worker engines.  Cold mode is always sequential (it
+        drops shared state between queries, which cannot race).
+    cache_capacity:
+        Entry bound of the shared :class:`MatchListCache`.
+    plan_cache:
+        Reuse PLANGEN decisions for structurally identical ``(query, k)``
+        repeats.  Sound because planning only reads the (shared, warm)
+        catalog; disable to force a fresh PLANGEN run per query.  Bounded
+        to ``cache_capacity`` entries (LRU), like the match-list cache.
+
+    The runner assumes the graph is not mutated *during* a batch.  Between
+    batches, mutations are picked up automatically: the match-list cache
+    is version-aware, and the catalog and plan cache are rebuilt when the
+    graph version they were built against no longer matches.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: EngineConfig | None = None,
+        n_workers: int = 1,
+        cache_capacity: int = DEFAULT_CAPACITY,
+        plan_cache: bool = True,
+    ) -> None:
+        if n_workers < 1:
+            raise ExperimentError(f"n_workers must be >= 1, got {n_workers}")
+        self.workload = workload
+        self.config = config or EngineConfig()
+        self.n_workers = n_workers
+        self.cache = MatchListCache(cache_capacity)
+        self.plan_cache = plan_cache
+        self._plans: OrderedDict[object, object] = OrderedDict()
+        self._plan_hits = 0
+        self._plan_lock = threading.Lock()
+        self._catalog: StatisticsCatalog | None = None
+        self._catalog_version = -1
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Shared substrate
+    # ------------------------------------------------------------------
+    @property
+    def graph(self):
+        return self.workload.graph
+
+    @property
+    def catalog(self) -> StatisticsCatalog:
+        """The shared catalog, (re)built lazily per graph version."""
+        if self._catalog is None or self._catalog_version != self.graph.version:
+            self.warm_up()
+        assert self._catalog is not None
+        return self._catalog
+
+    def warm_up(self, queries: Sequence[TriplePatternQuery] | None = None) -> float:
+        """Build the catalog and precompute workload statistics.
+
+        Returns the wall seconds spent — reported as ``warmup_seconds`` so
+        throughput numbers stay honest about the offline phase.
+        """
+        queries = list(queries if queries is not None else self.workload.queries)
+        started = time.perf_counter()
+        self.graph.attach_match_list_cache(self.cache)
+        self._catalog = StatisticsCatalog(
+            self.graph,
+            mass_fraction=self.config.mass_fraction,
+            histogram_kind=self.config.histogram_kind,  # type: ignore[arg-type]
+            n_buckets=self.config.n_buckets,
+            selectivity_mode=self.config.selectivity_mode,  # type: ignore[arg-type]
+        )
+        self._catalog.precompute(queries=queries)
+        self._catalog_version = self.graph.version
+        self._plans.clear()
+        self._local = threading.local()  # engines built on the old catalog die
+        return time.perf_counter() - started
+
+    def _worker_engine(self) -> SpecQPEngine:
+        """The calling thread's engine over the shared catalog and cache."""
+        engine = getattr(self._local, "engine", None)
+        if engine is None:
+            engine = SpecQPEngine(
+                self.graph,
+                self.workload.rules,
+                self.config,
+                catalog=self.catalog,
+                match_list_cache=self.cache,
+            )
+            self._local.engine = engine
+        return engine
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        queries: Sequence[TriplePatternQuery] | None = None,
+        k: int | None = None,
+        mode: CacheMode = "warm",
+    ) -> WorkloadReport:
+        """Execute *queries* (default: the workload's set) end to end."""
+        queries = list(queries if queries is not None else self.workload.queries)
+        if not queries:
+            raise ExperimentError("cannot run an empty batch")
+        if mode not in ("warm", "cold"):
+            raise ExperimentError(f"unknown cache mode {mode!r}")
+        k = k or self.config.k
+
+        if mode == "cold":
+            return self._run_cold(queries, k)
+
+        warmup_seconds = 0.0
+        if self._catalog is None or self._catalog_version != self.graph.version:
+            warmup_seconds = self.warm_up(queries)
+        else:
+            self.graph.attach_match_list_cache(self.cache)
+        stats_before = self.cache.stats()
+        plan_hits_before = self._plan_hits
+
+        started = time.perf_counter()
+        if self.n_workers == 1:
+            outcomes = [self._execute_warm(q, k) for q in queries]
+        else:
+            with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+                outcomes = list(pool.map(lambda q: self._execute_warm(q, k), queries))
+        wall = time.perf_counter() - started
+
+        return WorkloadReport(
+            outcomes=tuple(outcomes),
+            wall_seconds=wall,
+            n_workers=self.n_workers,
+            mode="warm",
+            cache=self._stats_delta(stats_before, self.cache.stats()),
+            warmup_seconds=warmup_seconds,
+            dataset=self.workload.name,
+            extras={
+                "plan_cache_hits": self._plan_hits - plan_hits_before,
+                "plan_cache_size": len(self._plans),
+            },
+        )
+
+    def _run_cold(
+        self, queries: Sequence[TriplePatternQuery], k: int
+    ) -> WorkloadReport:
+        """Per-query rebuild of every shared structure (the control)."""
+        self.graph.detach_match_list_cache()
+        outcomes = []
+        started = time.perf_counter()
+        for query in queries:
+            self.graph.invalidate_caches()
+            engine = SpecQPEngine(self.graph, self.workload.rules, self.config)
+            outcomes.append(self._execute(engine, query, k))
+        wall = time.perf_counter() - started
+        self.graph.invalidate_caches()
+        return WorkloadReport(
+            outcomes=tuple(outcomes),
+            wall_seconds=wall,
+            n_workers=1,
+            mode="cold",
+            cache=None,
+            dataset=self.workload.name,
+        )
+
+    def _execute_warm(self, query: TriplePatternQuery, k: int) -> QueryOutcome:
+        """One query over the shared substrate, through the plan cache.
+
+        Structurally identical queries (names aside, order aside — queries
+        have set semantics) share one PLANGEN decision.  The cached plan
+        carries its own query object with the same patterns and
+        projection, so execution is unaffected.
+        """
+        engine = self._worker_engine()
+        started = time.perf_counter()
+        plan = None
+        if self.plan_cache:
+            key = (frozenset(query.patterns), query.projection, k)
+            with self._plan_lock:
+                plan = self._plans.get(key)
+                if plan is not None:
+                    self._plans.move_to_end(key)
+                    self._plan_hits += 1
+        if plan is None:
+            plan = engine.planner.plan(query, k).plan
+            if self.plan_cache:
+                with self._plan_lock:
+                    self._plans[key] = plan
+                    self._plans.move_to_end(key)
+                    while len(self._plans) > self.cache.capacity:
+                        self._plans.popitem(last=False)
+        execution = engine.executor.execute(plan, k)  # type: ignore[arg-type]
+        seconds = time.perf_counter() - started
+        return QueryOutcome(
+            query_name=query.name or str(query),
+            k=k,
+            n_patterns=len(query),
+            seconds=seconds,
+            n_answers=len(execution.answers),
+            n_relaxed=plan.n_relaxed,  # type: ignore[union-attr]
+            plan=plan.describe(),  # type: ignore[union-attr]
+            top_score=execution.answers[0].score if execution.answers else 0.0,
+        )
+
+    @staticmethod
+    def _execute(engine: SpecQPEngine, query: TriplePatternQuery, k: int) -> QueryOutcome:
+        result: QueryResult = engine.query(query, k)
+        return QueryOutcome(
+            query_name=query.name or str(query),
+            k=k,
+            n_patterns=len(query),
+            seconds=result.total_seconds,
+            n_answers=len(result.answers),
+            n_relaxed=result.plan.n_relaxed,
+            plan=result.plan.describe(),
+            top_score=result.answers[0].score if result.answers else 0.0,
+        )
+
+    # ------------------------------------------------------------------
+    def compare(
+        self,
+        queries: Sequence[TriplePatternQuery] | None = None,
+        k: int | None = None,
+    ) -> dict[str, WorkloadReport | float]:
+        """Cold batch, then warm batch; returns both plus the speed-up."""
+        cold = self.run(queries, k, mode="cold")
+        warm = self.run(queries, k, mode="warm")
+        speedup = (
+            warm.queries_per_second / cold.queries_per_second
+            if cold.queries_per_second
+            else float("inf")
+        )
+        return {"cold": cold, "warm": warm, "speedup": speedup}
+
+    @staticmethod
+    def _stats_delta(before: CacheStats, after: CacheStats) -> CacheStats:
+        """Cache counters attributable to this batch alone."""
+        return CacheStats(
+            hits=after.hits - before.hits,
+            misses=after.misses - before.misses,
+            evictions=after.evictions - before.evictions,
+            invalidations=after.invalidations - before.invalidations,
+            size=after.size,
+            capacity=after.capacity,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WorkloadRunner({self.workload.name!r}, "
+            f"n_workers={self.n_workers}, cache={self.cache!r})"
+        )

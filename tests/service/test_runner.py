@@ -1,0 +1,132 @@
+"""WorkloadRunner: batch execution, concurrency equivalence, cache modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatasetError, ExperimentError
+from repro.service import WorkloadRunner
+
+
+@pytest.fixture(autouse=True)
+def _restore_shared_graph(tiny_xkg_workload):
+    """The session-scoped workload graph outlives these tests: leave it
+    with no external cache attached and let indexes rebuild lazily."""
+    yield
+    tiny_xkg_workload.graph.detach_match_list_cache()
+
+
+def outcome_signature(report):
+    """What must be invariant across execution strategies."""
+    return [
+        (o.n_answers, o.n_relaxed, round(o.top_score, 9)) for o in report.outcomes
+    ]
+
+
+def test_rejects_bad_arguments(tiny_xkg_workload):
+    with pytest.raises(ExperimentError):
+        WorkloadRunner(tiny_xkg_workload, n_workers=0)
+    runner = WorkloadRunner(tiny_xkg_workload)
+    with pytest.raises(ExperimentError):
+        runner.run([], k=5)
+    with pytest.raises(ExperimentError):
+        runner.run(mode="lukewarm")
+
+
+def test_warm_run_reports_whole_batch(tiny_xkg_workload):
+    runner = WorkloadRunner(tiny_xkg_workload)
+    report = runner.run(k=5)
+
+    assert report.n_queries == len(tiny_xkg_workload.queries)
+    assert report.mode == "warm"
+    assert report.dataset == tiny_xkg_workload.name
+    assert report.wall_seconds > 0
+    assert report.cache is not None and report.cache.lookups > 0
+    names = [o.query_name for o in report.outcomes]
+    assert names == [q.name for q in tiny_xkg_workload.queries]
+
+
+def test_repeated_queries_hit_both_caches(tiny_xkg_workload):
+    runner = WorkloadRunner(tiny_xkg_workload)
+    queries = tiny_xkg_workload.stretched(3 * len(tiny_xkg_workload.queries))
+    report = runner.run(queries, k=5)
+
+    assert report.cache is not None
+    assert report.cache.hit_rate > 0.5
+    # Rounds 2 and 3 are structural repeats: all planned from cache.
+    assert report.extras["plan_cache_hits"] >= 2 * len(tiny_xkg_workload.queries)
+    assert report.extras["plan_cache_size"] == len(tiny_xkg_workload.queries)
+
+
+def test_concurrent_runs_match_sequential(tiny_xkg_workload):
+    sequential = WorkloadRunner(tiny_xkg_workload, n_workers=1)
+    concurrent = WorkloadRunner(tiny_xkg_workload, n_workers=4)
+    queries = tiny_xkg_workload.stretched(2 * len(tiny_xkg_workload.queries))
+
+    seq_report = sequential.run(queries, k=5)
+    conc_report = concurrent.run(queries, k=5)
+
+    assert outcome_signature(conc_report) == outcome_signature(seq_report)
+    assert conc_report.n_workers == 4
+    # Outcomes come back in submission order regardless of completion order.
+    assert [o.query_name for o in conc_report.outcomes] == [q.name for q in queries]
+
+
+def test_cold_matches_warm_answers(tiny_xkg_workload):
+    runner = WorkloadRunner(tiny_xkg_workload)
+    comparison = runner.compare(k=5)
+    assert outcome_signature(comparison["warm"]) == outcome_signature(
+        comparison["cold"]
+    )
+    assert comparison["cold"].mode == "cold"
+    assert comparison["cold"].cache is None
+    assert comparison["speedup"] > 0
+
+
+def test_plan_cache_can_be_disabled(tiny_xkg_workload):
+    runner = WorkloadRunner(tiny_xkg_workload, plan_cache=False)
+    queries = tiny_xkg_workload.stretched(2 * len(tiny_xkg_workload.queries))
+    report = runner.run(queries, k=5)
+    assert report.extras["plan_cache_hits"] == 0
+    assert report.extras["plan_cache_size"] == 0
+
+
+def test_graph_mutation_between_batches_rebuilds_substrate(music_graph, music_rules):
+    from repro.datasets.workload import Workload
+    from repro.query.query import TriplePatternQuery
+    from repro.kg.pattern import TriplePattern, Variable
+
+    s = Variable("s")
+    query = TriplePatternQuery(
+        (TriplePattern(s, "rdf:type", "singer"),), name="singers"
+    )
+    workload = Workload("music", music_graph, music_rules, [query])
+    runner = WorkloadRunner(workload)
+
+    before = runner.run(k=2)
+    catalog_before = runner.catalog
+    assert before.outcomes[0].top_score == pytest.approx(1.0)
+
+    music_graph.add("newcomer", "rdf:type", "singer", score=1000.0)
+    after = runner.run(k=2)
+
+    assert runner.catalog is not catalog_before  # version-aware rebuild
+    assert after.warmup_seconds > 0
+    top = after.outcomes[0]
+    assert top.n_answers == 2
+
+
+def test_stretched_and_batches(tiny_xkg_workload):
+    queries = tiny_xkg_workload.stretched(30)
+    assert len(queries) == 30
+    assert len({q.name for q in queries}) == 30  # round suffixes keep names unique
+    assert queries[0].patterns == queries[len(tiny_xkg_workload.queries)].patterns
+
+    batches = list(tiny_xkg_workload.iter_batches(8, queries))
+    assert [len(b) for b in batches] == [8, 8, 8, 6]
+    assert [q for batch in batches for q in batch] == queries
+
+    with pytest.raises(DatasetError):
+        tiny_xkg_workload.stretched(0)
+    with pytest.raises(DatasetError):
+        next(tiny_xkg_workload.iter_batches(0))
