@@ -2,7 +2,7 @@
 #
 #   make test    tier-1 verification (unit + property + integration + benchmarks)
 #   make bench   benchmark suite only, with timing tables
-#   make docs    docs link check + run every runnable doc surface
+#   make docs    docs link + snippet import check, run every runnable doc surface
 #   make workload  demo the batch-serving layer (cold vs warm)
 
 PYTHON ?= python

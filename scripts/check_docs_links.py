@@ -1,21 +1,29 @@
 #!/usr/bin/env python
-"""Docs link check: every relative link in the Markdown docs must resolve.
+"""Docs checks: links must resolve, Python snippets must import-check.
 
 Scans README.md and docs/*.md (the hand-written documentation suite —
 driver-maintained artifacts like PAPERS.md/SNIPPETS.md are out of scope)
-for ``[text](target)`` links, ignores external URLs and pure anchors,
-and fails (exit 1) listing every target that does not exist relative to
-the linking file.  Run via ``make docs`` or CI.
+and fails (exit 1) listing every problem found:
+
+* every relative ``[text](target)`` link must point at an existing file
+  (external URLs and pure anchors are skipped);
+* every fenced ```` ```python ```` snippet must parse, and every import
+  statement in it must execute against ``src/`` — so renaming or
+  removing a public symbol breaks the build, not the reader.
+
+Run via ``make docs`` or CI.
 """
 
 from __future__ import annotations
 
+import ast
 import re
 import sys
 from pathlib import Path
 
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+PYTHON_FENCE = re.compile(r"^```python\n(.*?)^```", re.DOTALL | re.MULTILINE)
 
 
 def iter_doc_files(root: Path) -> list[Path]:
@@ -38,16 +46,62 @@ def broken_links(doc: Path, root: Path) -> list[str]:
     return problems
 
 
+def broken_snippets(doc: Path, root: Path) -> tuple[list[str], int]:
+    """Syntax-check each fenced python snippet and execute its imports.
+
+    Only ``import``/``from ... import`` statements run (at any nesting
+    level); the rest of the snippet is compile-checked but never
+    executed, so docs can show mutations without side effects.
+    """
+    problems: list[str] = []
+    text = doc.read_text(encoding="utf-8")
+    n_snippets = 0
+    for n_snippets, match in enumerate(PYTHON_FENCE.finditer(text), start=1):
+        code = match.group(1)
+        where = f"{doc.relative_to(root)}: python snippet {n_snippets}"
+        line_offset = text[: match.start()].count("\n") + 1
+        try:
+            tree = ast.parse(code)
+        except SyntaxError as error:
+            problems.append(
+                f"{where} (near line {line_offset + (error.lineno or 0)}): "
+                f"syntax error: {error.msg}"
+            )
+            continue
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            statement = ast.Module(body=[node], type_ignores=[])
+            try:
+                exec(compile(statement, f"<{where}>", "exec"), {})
+            except Exception as error:  # noqa: BLE001 - report, don't crash
+                problems.append(
+                    f"{where} (line {line_offset + node.lineno}): "
+                    f"import failed: {error}"
+                )
+    return problems, n_snippets
+
+
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(root / "src"))  # snippets import the package itself
     docs = iter_doc_files(root)
     if not docs:
         print("no Markdown files found", file=sys.stderr)
         return 1
-    problems = [p for doc in docs for p in broken_links(doc, root)]
+    problems: list[str] = []
+    total_snippets = 0
+    for doc in docs:
+        problems.extend(broken_links(doc, root))
+        snippet_problems, n_snippets = broken_snippets(doc, root)
+        problems.extend(snippet_problems)
+        total_snippets += n_snippets
     for problem in problems:
         print(problem, file=sys.stderr)
-    print(f"checked {len(docs)} files, {len(problems)} broken links")
+    print(
+        f"checked {len(docs)} files ({total_snippets} python snippets), "
+        f"{len(problems)} problems"
+    )
     return 1 if problems else 0
 
 

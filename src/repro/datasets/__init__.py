@@ -9,16 +9,23 @@ relaxing.  See DESIGN.md §3 for the substitution rationale.
 * :func:`~repro.datasets.xkg.generate_xkg` — XKG-like KG + 65-query workload.
 * :func:`~repro.datasets.twitter.generate_twitter` — tweet KG + 50 queries.
 * :class:`~repro.datasets.workload.Workload` — the bundle experiments run.
+* :func:`~repro.datasets.synthetic.generate_scaled_graph` — columnar
+  scale-test graphs up to the :data:`~repro.datasets.synthetic.SCALE_PROFILES`
+  ``million`` profile (storage benchmarks, no query workload).
 """
 
+from repro.datasets.synthetic import SCALE_PROFILES, ScaleProfile, generate_scaled_graph
 from repro.datasets.twitter import TwitterConfig, generate_twitter
 from repro.datasets.workload import Workload
 from repro.datasets.xkg import XKGConfig, generate_xkg
 
 __all__ = [
+    "SCALE_PROFILES",
+    "ScaleProfile",
     "TwitterConfig",
     "Workload",
     "XKGConfig",
+    "generate_scaled_graph",
     "generate_twitter",
     "generate_xkg",
 ]

@@ -1,4 +1,4 @@
-"""Shared synthetic-generation utilities.
+"""Shared synthetic-generation utilities and scale-test graphs.
 
 Everything is driven by an explicit ``numpy.random.Generator`` so datasets
 are reproducible bit-for-bit from a seed.  Scores follow discrete power
@@ -6,15 +6,27 @@ laws (Zipf) because both of the paper's score sources — occurrence /
 inlink counts and retweet counts — are textbook power-law quantities, and
 the 80/20 behaviour of those distributions is the paper's explicit
 motivation for the two-bucket histogram model (§3.1.1).
+
+Beyond the workload generators' low-level helpers, this module provides
+**scale profiles** (:data:`SCALE_PROFILES`, up to a million triples) and
+:func:`generate_scaled_graph`, which builds a
+:class:`~repro.kg.columnar.ColumnarGraph` entirely in NumPy — id columns
+drawn under Zipf popularity, scores from the bounded power law — so the
+storage benchmarks have realistic large graphs without a slow per-triple
+generation loop.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.errors import DatasetError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kg.columnar import ColumnarGraph
 
 
 def make_rng(seed: int | np.random.Generator) -> np.random.Generator:
@@ -82,3 +94,116 @@ def name_series(prefix: str, n: int, width: int | None = None) -> list[str]:
         raise DatasetError(f"n must be >= 0, got {n}")
     width = width or max(len(str(max(n - 1, 0))), 3)
     return [f"{prefix}{i:0{width}d}" for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# Scale profiles (storage / throughput testing)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScaleProfile:
+    """Sizing knobs for a synthetic scale-test graph.
+
+    Subjects and objects are entities drawn under Zipf rank popularity
+    (``entity_exponent``), predicates likewise (``predicate_exponent``),
+    scores from the bounded power law of :func:`zipf_scores` — the same
+    distributional shape as the paper's corpora, at whatever scale the
+    profile asks for.
+    """
+
+    name: str
+    n_triples: int
+    n_entities: int
+    n_predicates: int
+    score_alpha: float = 1.1
+    entity_exponent: float = 1.0
+    predicate_exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_triples < 1:
+            raise DatasetError(f"n_triples must be >= 1, got {self.n_triples}")
+        if self.n_entities < 1 or self.n_predicates < 1:
+            raise DatasetError("n_entities and n_predicates must be >= 1")
+        capacity = self.n_entities * self.n_predicates * self.n_entities
+        if self.n_triples > capacity // 2:
+            raise DatasetError(
+                f"profile {self.name!r} wants {self.n_triples} distinct triples "
+                f"from only {capacity} possible (s, p, o) combinations; "
+                "increase n_entities/n_predicates"
+            )
+
+
+#: Ready-made profiles: ``smoke`` for tests, ``medium`` for local runs,
+#: ``million`` for the snapshot-vs-TSV benchmark's headline scale.
+SCALE_PROFILES: dict[str, ScaleProfile] = {
+    "smoke": ScaleProfile("smoke", n_triples=10_000, n_entities=2_000, n_predicates=16),
+    "medium": ScaleProfile(
+        "medium", n_triples=100_000, n_entities=25_000, n_predicates=32
+    ),
+    "million": ScaleProfile(
+        "million", n_triples=1_000_000, n_entities=200_000, n_predicates=64
+    ),
+}
+
+
+def generate_scaled_graph(
+    profile: str | ScaleProfile = "million",
+    seed: int | np.random.Generator = 0,
+) -> "ColumnarGraph":
+    """Generate a columnar graph of exactly ``profile.n_triples`` triples.
+
+    Fully vectorised: draws oversampled ``(s, p, o)`` id rows under the
+    profile's Zipf popularity, dedupes them (identity is the term triple,
+    as everywhere in the repo), tops up until the target count is reached,
+    and scores every surviving row with the bounded power law.
+    Deterministic for a given profile and seed.
+    """
+    from repro.kg.columnar import ColumnarGraph, ColumnarStore
+
+    if isinstance(profile, str):
+        try:
+            profile = SCALE_PROFILES[profile]
+        except KeyError:
+            raise DatasetError(
+                f"unknown scale profile {profile!r}; "
+                f"choose from {sorted(SCALE_PROFILES)}"
+            ) from None
+    rng = make_rng(seed)
+    n = profile.n_triples
+    n_entities, n_predicates = profile.n_entities, profile.n_predicates
+    entity_weights = zipf_rank_weights(n_entities, profile.entity_exponent)
+    predicate_weights = zipf_rank_weights(n_predicates, profile.predicate_exponent)
+
+    # Draw with oversampling, dedup on a packed (s, p, o) key, repeat
+    # until n distinct rows exist.  Zipf concentration makes the hottest
+    # cells collide, so a fixed oversample factor alone is not enough.
+    packed = np.empty(0, dtype=np.int64)
+    base = np.int64(n_entities)
+    need = n
+    while need > 0:
+        batch = max(int(need * 1.2), 1024)
+        s = rng.choice(n_entities, size=batch, p=entity_weights)
+        p = rng.choice(n_predicates, size=batch, p=predicate_weights)
+        o = rng.choice(n_entities, size=batch, p=entity_weights)
+        fresh = (s * n_predicates + p) * base + o
+        packed = np.unique(np.concatenate([packed, fresh]))
+        need = n - len(packed)
+    packed = rng.permutation(packed)[:n]  # drop surplus without rank bias
+
+    objects = (packed % base).astype(np.int64)
+    rest = packed // base
+    predicates = (rest % n_predicates).astype(np.int64)
+    subjects = (rest // n_predicates).astype(np.int64)
+    scores = zipf_scores(rng, n, alpha=profile.score_alpha)
+
+    entity_names = name_series("e", n_entities)
+    predicate_names = name_series("p", n_predicates)
+    terms = np.array(entity_names + predicate_names)
+    store = ColumnarStore.from_arrays(
+        terms,
+        subjects,
+        predicates + n_entities,  # predicate ids follow entity ids
+        objects,
+        scores,
+        validate=False,  # constructed in-range and distinct by design
+    )
+    return ColumnarGraph(store, name=f"synthetic-{profile.name}")

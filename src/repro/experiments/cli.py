@@ -6,6 +6,7 @@ Examples::
     spec-qp all --dataset twitter --scale small
     spec-qp fig7 --dataset xkg --ks 10 20
     spec-qp workload --min-queries 200 --workers 4 --mode both
+    spec-qp convert --input graph.tsv --output graph.npz
 """
 
 from __future__ import annotations
@@ -28,7 +29,8 @@ from repro.experiments.session import ExperimentSession
 from repro.metrics.efficiency import TimingProtocol
 
 EXPERIMENTS = (
-    "table2", "table3", "table4", "fig6", "fig7", "fig8", "fig9", "all", "workload"
+    "table2", "table3", "table4", "fig6", "fig7", "fig8", "fig9", "all",
+    "workload", "convert",
 )
 
 #: Scales for quick runs vs full reproduction.
@@ -104,6 +106,62 @@ def run_experiment(
     raise ExperimentError(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
 
 
+def _storage_format(path: str) -> str:
+    """``'snapshot'`` or ``'tsv'`` from a file name, or raise."""
+    lowered = path.lower()
+    if lowered.endswith(".npz"):
+        return "snapshot"
+    if lowered.endswith((".tsv", ".tsv.gz")):
+        return "tsv"
+    raise ExperimentError(
+        f"cannot infer storage format of {path!r}: "
+        "use .tsv / .tsv.gz (scored TSV) or .npz (binary snapshot)"
+    )
+
+
+def run_convert(args: "argparse.Namespace") -> int:
+    """The ``convert`` subcommand: TSV ⇄ binary snapshot.
+
+    Formats are inferred from the file suffixes.  TSV input streams
+    straight into the columnar backend (interned once, never an
+    object-per-triple dict), so converting a large graph to a snapshot is
+    a one-time cost that every later load skips.
+    """
+    import time
+
+    from repro.errors import KnowledgeGraphError
+    from repro.kg import storage
+    from repro.kg.columnar import ColumnarGraph
+
+    if not args.input or not args.output:
+        raise ExperimentError("convert requires --input and --output")
+    in_format = _storage_format(args.input)
+    out_format = _storage_format(args.output)
+    started = time.perf_counter()
+    try:
+        if in_format == "snapshot":
+            graph = storage.load_snapshot(args.input, name=args.graph_name)
+        else:
+            from pathlib import Path
+
+            graph = ColumnarGraph.from_triples(
+                storage.iter_tsv(args.input),
+                name=args.graph_name or Path(args.input).stem,
+            )
+        if out_format == "snapshot":
+            count = storage.save_snapshot(graph, args.output)
+        else:
+            count = storage.save_tsv(graph, args.output)
+    except (KnowledgeGraphError, OSError) as error:
+        raise ExperimentError(f"convert failed: {error}") from None
+    seconds = time.perf_counter() - started
+    print(
+        f"converted {args.input} ({in_format}) -> {args.output} ({out_format}): "
+        f"{count} triples, {graph.store.n_terms} terms, {seconds:.2f}s"
+    )
+    return 0
+
+
 def run_workload(args: "argparse.Namespace") -> int:
     """The ``workload`` subcommand: batch serving through the service layer."""
     from repro.service import WorkloadRunner
@@ -173,6 +231,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--mode", choices=("warm", "cold", "both"), default="warm",
         help="shared caches (warm), per-query rebuild (cold), or both",
     )
+    convert = parser.add_argument_group(
+        "convert", "options for the 'convert' storage subcommand (TSV ⇄ snapshot)"
+    )
+    convert.add_argument(
+        "--input", default=None, metavar="PATH",
+        help="source graph: .tsv / .tsv.gz (scored TSV) or .npz (snapshot)",
+    )
+    convert.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="destination graph; format inferred from the suffix",
+    )
+    convert.add_argument(
+        "--graph-name", default=None,
+        help="name for the converted graph (default: input stem / stored name)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -183,6 +256,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
 
 def _dispatch(args: "argparse.Namespace") -> int:
+    if args.experiment == "convert":
+        return run_convert(args)
     if args.experiment == "workload":
         return run_workload(args)
 

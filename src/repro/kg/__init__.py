@@ -11,8 +11,13 @@ Public surface:
 * :class:`~repro.kg.triple.Triple` — an immutable scored triple.
 * :class:`~repro.kg.pattern.TriplePattern` / :class:`~repro.kg.pattern.Variable`
   — SPARQL-style triple patterns.
-* :class:`~repro.kg.graph.KnowledgeGraph` — the store itself.
-* :mod:`~repro.kg.storage` — TSV/N-triples-style (de)serialisation.
+* :class:`~repro.kg.graph.KnowledgeGraph` — the object-backed store.
+* :class:`~repro.kg.columnar.ColumnarGraph` /
+  :class:`~repro.kg.columnar.ColumnarStore` — the read-only
+  dictionary-encoded columnar backend (NumPy-backed; imported lazily so
+  the object backend stays dependency-free).
+* :mod:`~repro.kg.storage` — scored-TSV / N-triples text formats and the
+  binary ``.npz`` snapshot format (``save_snapshot`` / ``load_snapshot``).
 """
 
 from repro.kg.graph import KnowledgeGraph
@@ -20,7 +25,14 @@ from repro.kg.pattern import TriplePattern, Variable, is_variable
 from repro.kg.triple import Triple
 from repro.kg.namespace import Namespace, RDF_TYPE
 
+#: Names served lazily from repro.kg.columnar (keeps NumPy optional for
+#: the object backend).
+_COLUMNAR_EXPORTS = ("ColumnarGraph", "ColumnarStore", "ColumnarPatternIndex")
+
 __all__ = [
+    "ColumnarGraph",
+    "ColumnarPatternIndex",
+    "ColumnarStore",
     "KnowledgeGraph",
     "Namespace",
     "RDF_TYPE",
@@ -29,3 +41,12 @@ __all__ = [
     "Variable",
     "is_variable",
 ]
+
+
+def __getattr__(name: str):
+    """Lazily resolve the columnar exports on first access."""
+    if name in _COLUMNAR_EXPORTS:
+        from repro.kg import columnar
+
+        return getattr(columnar, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,588 @@
+"""Columnar dictionary-encoded storage backend.
+
+The default :class:`~repro.kg.graph.KnowledgeGraph` keeps every triple as
+a Python object inside a dict — perfect for small graphs and mutation,
+but Python-object overhead caps graph size and makes (re)loading a large
+graph dominated by object churn.  This module is the production-scale
+counterpart, the extensional-database layout classic OBDA systems use:
+
+* one **term dictionary** mapping every distinct term (subject, predicate
+  or object string) to a small integer id, and
+* four parallel **columns** — subject ids, predicate ids, object ids and
+  raw scores — as NumPy arrays.
+
+:class:`ColumnarGraph` wraps the columns behind the exact
+:class:`~repro.kg.graph.KnowledgeGraph` interface, so engines, statistics
+catalogs, operators and the service-layer caches run on it unchanged.
+Match lists (Definition 5) are built *vectorised*: candidate rows come
+from boolean masks over the id columns and the score-descending order
+from one ``numpy.lexsort`` — no per-triple Python comparisons.
+
+The column layout is also the on-disk **snapshot** layout: see
+:func:`repro.kg.storage.save_snapshot` / ``load_snapshot``, which persist
+a store to a versioned ``.npz`` container and bring it back without
+reparsing text or re-interning terms.  ``docs/storage.md`` specifies the
+format.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import KnowledgeGraphError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.index import MatchList, PatternIndex, PatternKey
+from repro.kg.pattern import TriplePattern, Variable
+from repro.kg.triple import Triple
+
+#: Dtype of the three id columns.  int32 caps the dictionary at ~2.1e9
+#: distinct terms — far beyond what one process holds in RAM anyway —
+#: and halves snapshot size versus int64.
+ID_DTYPE = np.int32
+
+#: Rows decoded per chunk when iterating triples (bounds peak memory).
+_DECODE_CHUNK = 65536
+
+
+def _as_id_column(values: object, name: str) -> np.ndarray:
+    """Coerce *values* into a 1-D id column, rejecting junk early."""
+    array = np.asarray(values)
+    if array.ndim != 1:
+        raise KnowledgeGraphError(f"{name} column must be 1-D, got shape {array.shape}")
+    if array.dtype.kind not in "iu":
+        raise KnowledgeGraphError(
+            f"{name} column must be integer ids, got dtype {array.dtype}"
+        )
+    return array.astype(ID_DTYPE, copy=False)
+
+
+class ColumnarStore:
+    """Dictionary-encoded ``(s, p, o, score)`` columns over one term table.
+
+    The store is an immutable value object: four parallel arrays plus the
+    id → term dictionary, with lazily built lookup structures (term → id
+    map, lexicographic term ranks, row index).  Build one with
+    :meth:`from_triples` (interns as it streams) or :meth:`from_arrays`
+    (validates pre-encoded columns, e.g. from a snapshot or a generator).
+
+    Attributes
+    ----------
+    terms:
+        1-D unicode array; index is the term id.
+    subjects, predicates, objects:
+        int32 id columns, one entry per triple.
+    scores:
+        float64 raw scores, one entry per triple.
+    """
+
+    __slots__ = (
+        "terms",
+        "subjects",
+        "predicates",
+        "objects",
+        "scores",
+        "_term_list",
+        "_term_ids",
+        "_term_rank",
+        "_row_index",
+    )
+
+    def __init__(
+        self,
+        terms: np.ndarray,
+        subjects: np.ndarray,
+        predicates: np.ndarray,
+        objects: np.ndarray,
+        scores: np.ndarray,
+    ) -> None:
+        self.terms = np.asarray(terms)
+        self.subjects = _as_id_column(subjects, "subject")
+        self.predicates = _as_id_column(predicates, "predicate")
+        self.objects = _as_id_column(objects, "object")
+        self.scores = np.asarray(scores, dtype=np.float64)
+        n = len(self.subjects)
+        if not (len(self.predicates) == len(self.objects) == len(self.scores) == n):
+            raise KnowledgeGraphError(
+                "column length mismatch: "
+                f"s={len(self.subjects)} p={len(self.predicates)} "
+                f"o={len(self.objects)} scores={len(self.scores)}"
+            )
+        if self.terms.ndim != 1 or (self.terms.size and self.terms.dtype.kind != "U"):
+            raise KnowledgeGraphError("terms must be a 1-D unicode array")
+        self._term_list: list[str] | None = None
+        self._term_ids: dict[str, int] | None = None
+        self._term_rank: np.ndarray | None = None
+        self._row_index: dict[tuple[int, int, int], int] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_triples(cls, triples: Iterable[Triple]) -> "ColumnarStore":
+        """Intern a stream of :class:`Triple` into a fresh store.
+
+        Duplicate ``(s, p, o)`` rows keep the *last* score seen, matching
+        :meth:`KnowledgeGraph.add_triple` semantics, so converting a graph
+        or a TSV stream is lossless.
+        """
+        term_ids: dict[str, int] = {}
+
+        def intern(term: str) -> int:
+            term_id = term_ids.get(term)
+            if term_id is None:
+                if "\x00" in term:
+                    raise KnowledgeGraphError(
+                        f"term {term!r} contains NUL, unsupported by columnar storage"
+                    )
+                term_id = len(term_ids)
+                term_ids[term] = term_id
+            return term_id
+
+        rows: dict[tuple[int, int, int], float] = {}
+        for triple in triples:
+            if not isinstance(triple, Triple):
+                raise KnowledgeGraphError(
+                    f"expected Triple, got {type(triple).__name__}"
+                )
+            key = (intern(triple.subject), intern(triple.predicate), intern(triple.object))
+            rows[key] = float(triple.score)
+
+        terms = np.array(list(term_ids), dtype=str) if term_ids else np.empty(0, dtype="<U1")
+        if rows:
+            ids = np.fromiter(
+                (component for key in rows for component in key),
+                dtype=ID_DTYPE,
+                count=3 * len(rows),
+            ).reshape(-1, 3)
+            subjects, predicates, objects = ids[:, 0], ids[:, 1], ids[:, 2]
+            scores = np.fromiter(rows.values(), dtype=np.float64, count=len(rows))
+        else:
+            subjects = predicates = objects = np.empty(0, dtype=ID_DTYPE)
+            scores = np.empty(0, dtype=np.float64)
+        store = cls(terms, subjects, predicates, objects, scores)
+        store._term_ids = term_ids  # already built; no need to rebuild lazily
+        return store
+
+    @classmethod
+    def from_arrays(
+        cls,
+        terms: np.ndarray,
+        subjects: np.ndarray,
+        predicates: np.ndarray,
+        objects: np.ndarray,
+        scores: np.ndarray,
+        *,
+        validate: bool = True,
+    ) -> "ColumnarStore":
+        """Wrap pre-encoded columns, optionally validating the invariants.
+
+        Validation (vectorised, cheap even at millions of rows) checks
+        that ids are in range, scores are finite and non-negative, terms
+        are non-empty / NUL-free / distinct, and ``(s, p, o)`` rows are
+        unique.  Pass ``validate=False`` only for columns produced by
+        trusted code in the same process.
+        """
+        store = cls(terms, subjects, predicates, objects, scores)
+        if validate:
+            store.validate()
+        return store
+
+    def validate(self) -> None:
+        """Check every store invariant; raise :class:`KnowledgeGraphError`."""
+        n_terms = self.n_terms
+        for name, column in (
+            ("subject", self.subjects),
+            ("predicate", self.predicates),
+            ("object", self.objects),
+        ):
+            if column.size and (column.min() < 0 or column.max() >= n_terms):
+                raise KnowledgeGraphError(
+                    f"{name} ids out of range [0, {n_terms}) "
+                    f"(min={column.min()}, max={column.max()})"
+                )
+        if self.scores.size:
+            if not np.isfinite(self.scores).all():
+                raise KnowledgeGraphError("scores must be finite")
+            if (self.scores < 0).any():
+                raise KnowledgeGraphError("scores must be >= 0")
+        if self.terms.size:
+            decoded = self.term_list()
+            if any(not term for term in decoded):
+                raise KnowledgeGraphError("terms must be non-empty strings")
+            if any("\x00" in term for term in decoded):
+                raise KnowledgeGraphError("terms must not contain NUL")
+            # sort + adjacent compare beats np.unique by an order of
+            # magnitude here, and validation is on the snapshot-load path
+            ordered_terms = np.sort(self.terms)
+            if (ordered_terms[1:] == ordered_terms[:-1]).any():
+                raise KnowledgeGraphError("terms must be distinct")
+        if self.n_triples:
+            ordered_rows = np.sort(self._packed_rows())
+            if (ordered_rows[1:] == ordered_rows[:-1]).any():
+                raise KnowledgeGraphError("(s, p, o) rows must be unique")
+
+    def _packed_rows(self) -> np.ndarray:
+        """Each row packed into one comparable value for uniqueness checks:
+        a single int64 while ``n_terms**3`` fits (collision-free base-n
+        encoding), a structured void view beyond that."""
+        n = self.n_terms
+        if n**3 < 2**63:
+            return (
+                self.subjects.astype(np.int64) * n + self.predicates
+            ) * n + self.objects
+        stacked = np.ascontiguousarray(
+            np.stack([self.subjects, self.predicates, self.objects], axis=1)
+        )
+        return stacked.view([("", ID_DTYPE)] * 3).ravel()
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def n_triples(self) -> int:
+        """Number of rows (distinct triples)."""
+        return len(self.subjects)
+
+    @property
+    def n_terms(self) -> int:
+        """Number of dictionary entries (distinct terms)."""
+        return len(self.terms)
+
+    def nbytes(self) -> int:
+        """Approximate in-memory footprint of the arrays, in bytes."""
+        return int(
+            self.terms.nbytes
+            + self.subjects.nbytes
+            + self.predicates.nbytes
+            + self.objects.nbytes
+            + self.scores.nbytes
+        )
+
+    # ------------------------------------------------------------------
+    # Lazy lookup structures
+    # ------------------------------------------------------------------
+    def term_list(self) -> list[str]:
+        """The dictionary as plain Python strings (id → term), built lazily."""
+        if self._term_list is None:
+            self._term_list = self.terms.tolist()
+        return self._term_list
+
+    def term_id(self, term: str) -> int | None:
+        """Id of *term*, or ``None`` if it is not in the dictionary."""
+        if self._term_ids is None:
+            self._term_ids = {t: i for i, t in enumerate(self.term_list())}
+        return self._term_ids.get(term)
+
+    def _ranks(self) -> np.ndarray:
+        """Lexicographic rank of each term id (order-isomorphic to the
+        term strings, so integer tie-breaks reproduce string tie-breaks)."""
+        if self._term_rank is None:
+            order = np.argsort(self.terms, kind="stable")
+            rank = np.empty(len(order), dtype=np.int64)
+            rank[order] = np.arange(len(order))
+            self._term_rank = rank
+        return self._term_rank
+
+    def row_of(self, subject: str, predicate: str, object_: str) -> int | None:
+        """Row index of a fully-bound triple, or ``None`` (lazy hash index)."""
+        sid, pid, oid = (
+            self.term_id(subject),
+            self.term_id(predicate),
+            self.term_id(object_),
+        )
+        if sid is None or pid is None or oid is None:
+            return None
+        if self._row_index is None:
+            self._row_index = {
+                row: index
+                for index, row in enumerate(
+                    zip(
+                        self.subjects.tolist(),
+                        self.predicates.tolist(),
+                        self.objects.tolist(),
+                    )
+                )
+            }
+        return self._row_index.get((sid, pid, oid))
+
+    # ------------------------------------------------------------------
+    # Vectorised access
+    # ------------------------------------------------------------------
+    def rows_matching(self, key: PatternKey) -> np.ndarray:
+        """Row indices agreeing with the bound positions of *key*.
+
+        A term absent from the dictionary matches nothing; a fully
+        unbound key matches every row.
+        """
+        mask: np.ndarray | None = None
+        for term, column in zip(key, (self.subjects, self.predicates, self.objects)):
+            if term is None:
+                continue
+            term_id = self.term_id(term)
+            if term_id is None:
+                return np.empty(0, dtype=np.int64)
+            condition = column == ID_DTYPE(term_id)
+            mask = condition if mask is None else (mask & condition)
+        if mask is None:
+            return np.arange(self.n_triples, dtype=np.int64)
+        return np.nonzero(mask)[0]
+
+    def score_order(self, rows: np.ndarray) -> np.ndarray:
+        """*rows* reordered by raw score descending, ties by ``(s, p, o)``.
+
+        Exactly the Definition-5 order the Python backend produces with
+        ``sorted(key=lambda t: (-t.score, t.spo))``.
+        """
+        if len(rows) == 0:
+            return rows
+        ranks = self._ranks()
+        order = np.lexsort(
+            (
+                ranks[self.objects[rows]],
+                ranks[self.predicates[rows]],
+                ranks[self.subjects[rows]],
+                -self.scores[rows],
+            )
+        )
+        return rows[order]
+
+    def spo_order(self) -> np.ndarray:
+        """All rows in lexicographic ``(s, p, o)`` order (the TSV order)."""
+        ranks = self._ranks()
+        return np.lexsort(
+            (ranks[self.objects], ranks[self.predicates], ranks[self.subjects])
+        )
+
+    def decode_rows(self, rows: np.ndarray) -> list[Triple]:
+        """Materialise :class:`Triple` objects for *rows*, in order."""
+        terms = self.term_list()
+        return [
+            Triple(terms[s], terms[p], terms[o], score)
+            for s, p, o, score in zip(
+                self.subjects[rows].tolist(),
+                self.predicates[rows].tolist(),
+                self.objects[rows].tolist(),
+                self.scores[rows].tolist(),
+            )
+        ]
+
+    def iter_triples(self) -> Iterator[Triple]:
+        """Stream every triple, decoding in chunks to bound peak memory."""
+        terms = self.term_list()
+        for start in range(0, self.n_triples, _DECODE_CHUNK):
+            stop = min(start + _DECODE_CHUNK, self.n_triples)
+            yield from (
+                Triple(terms[s], terms[p], terms[o], score)
+                for s, p, o, score in zip(
+                    self.subjects[start:stop].tolist(),
+                    self.predicates[start:stop].tolist(),
+                    self.objects[start:stop].tolist(),
+                    self.scores[start:stop].tolist(),
+                )
+            )
+
+    def tsv_lines(self) -> Iterator[str]:
+        """Scored-TSV lines in ``(s, p, o)`` order, no Triple objects.
+
+        The vectorised twin of :func:`repro.kg.storage.save_tsv`'s
+        object path; byte-identical output for the same graph.
+        """
+        terms = self.term_list()
+        order = self.spo_order()
+        for s, p, o, score in zip(
+            self.subjects[order].tolist(),
+            self.predicates[order].tolist(),
+            self.objects[order].tolist(),
+            self.scores[order].tolist(),
+        ):
+            yield f"{terms[s]}\t{terms[p]}\t{terms[o]}\t{score:.10g}\n"
+
+    def unique_terms(self, *columns: np.ndarray) -> set[str]:
+        """Distinct decoded terms appearing in the given id columns."""
+        if not columns:
+            return set()
+        ids = np.unique(np.concatenate(columns)) if len(columns) > 1 else np.unique(columns[0])
+        terms = self.term_list()
+        return {terms[i] for i in ids.tolist()}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ColumnarStore(n_triples={self.n_triples}, n_terms={self.n_terms}, "
+            f"~{self.nbytes() / 1e6:.1f} MB)"
+        )
+
+
+class ColumnarPatternIndex(PatternIndex):
+    """A :class:`PatternIndex` that answers from columns, not hash maps.
+
+    Candidate retrieval is a boolean mask over the id columns and match
+    lists are ordered by one ``lexsort`` over (score, term-rank) keys —
+    :meth:`PatternIndex.match_list`'s caching (internal dict or the
+    attached external :class:`~repro.service.MatchListCache`) is
+    inherited untouched, so the service layer cannot tell the backends
+    apart.
+    """
+
+    def candidates(self, key: PatternKey) -> list[Triple]:
+        """Triples agreeing with the bound positions of *key* (unsorted)."""
+        self._invalidate_if_stale()
+        store = self._store()
+        return store.decode_rows(store.rows_matching(key))
+
+    def _store(self) -> ColumnarStore:
+        return self._graph.store  # type: ignore[attr-defined]
+
+    def _build_match_list(self, pattern: TriplePattern, key: PatternKey) -> MatchList:
+        store = self._store()
+        rows = store.rows_matching(key)
+        rows = self._filter_repeated_variables(pattern, rows, store)
+        rows = store.score_order(rows)
+        triples = tuple(store.decode_rows(rows))
+        if not triples:
+            return MatchList(key, (), 0.0, ())
+        scores = store.scores[rows]
+        max_score = float(scores[0])
+        if max_score > 0:
+            normalized = tuple((scores / max_score).tolist())
+        else:
+            normalized = tuple(0.0 for _ in triples)
+        return MatchList(key, triples, max_score, normalized)
+
+    @staticmethod
+    def _filter_repeated_variables(
+        pattern: TriplePattern, rows: np.ndarray, store: ColumnarStore
+    ) -> np.ndarray:
+        """Keep only rows where repeated variables bind consistently
+        (e.g. ``(?x, p, ?x)`` keeps the diagonal), vectorised."""
+        positions_by_name: dict[str, list[int]] = {}
+        for position, term in enumerate(pattern.terms):
+            if isinstance(term, Variable):
+                positions_by_name.setdefault(term.name, []).append(position)
+        columns = (store.subjects, store.predicates, store.objects)
+        for positions in positions_by_name.values():
+            first = positions[0]
+            for other in positions[1:]:
+                rows = rows[columns[first][rows] == columns[other][rows]]
+        return rows
+
+    def stats(self) -> dict[str, int]:
+        """Diagnostics; columnar indexes keep no shape hash maps."""
+        base = super().stats()
+        base["columnar"] = 1
+        return base
+
+
+class ColumnarGraph(KnowledgeGraph):
+    """A read-only :class:`KnowledgeGraph` backed by a :class:`ColumnarStore`.
+
+    Same public interface — pattern matching, Definition-5 match lists,
+    external cache hooks, statistics — but triples live in dictionary-
+    encoded NumPy columns instead of a Python dict, so million-triple
+    graphs load in well under a second from a snapshot and match lists
+    sort without per-triple Python comparisons.
+
+    The graph is immutable: :meth:`add_triple`, :meth:`add_triples` and
+    :meth:`remove` raise.  Call :meth:`thaw` for a mutable object-backed
+    copy, or rebuild via :meth:`from_graph` after editing.
+
+    >>> from repro.kg import ColumnarGraph, KnowledgeGraph
+    >>> kg = KnowledgeGraph()
+    >>> kg.add("shakira", "rdf:type", "singer", score=120.0)
+    >>> frozen = ColumnarGraph.from_graph(kg)
+    >>> frozen.size
+    1
+    """
+
+    def __init__(self, store: ColumnarStore, name: str = "kg") -> None:
+        self.name = name
+        self._store = store
+        self._version = 0
+        self._index = ColumnarPatternIndex(self)
+
+    # ------------------------------------------------------------------
+    # Construction / conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: KnowledgeGraph, name: str | None = None) -> "ColumnarGraph":
+        """Freeze any :class:`KnowledgeGraph` into columnar form."""
+        if isinstance(graph, ColumnarGraph):
+            return cls(graph.store, name=name or graph.name)
+        return cls(ColumnarStore.from_triples(graph.triples()), name=name or graph.name)
+
+    @classmethod
+    def from_triples(cls, triples: Iterable[Triple], name: str = "kg") -> "ColumnarGraph":
+        """Intern a triple stream straight into a columnar graph."""
+        return cls(ColumnarStore.from_triples(triples), name=name)
+
+    def thaw(self) -> KnowledgeGraph:
+        """A mutable object-backed copy with the same triples and name."""
+        return KnowledgeGraph(self.triples(), name=self.name)
+
+    @property
+    def store(self) -> ColumnarStore:
+        """The underlying dictionary-encoded columns."""
+        return self._store
+
+    # ------------------------------------------------------------------
+    # Mutation: refused (freeze-thaw model)
+    # ------------------------------------------------------------------
+    def add_triple(self, triple: Triple) -> None:
+        """Unsupported; columnar graphs are immutable.  Use :meth:`thaw`."""
+        raise KnowledgeGraphError(
+            "ColumnarGraph is immutable; thaw() to a mutable KnowledgeGraph "
+            "or rebuild with ColumnarGraph.from_graph / from_triples"
+        )
+
+    def add_triples(self, triples: Iterable[Triple]) -> int:
+        """Unsupported; columnar graphs are immutable.  Use :meth:`thaw`."""
+        raise KnowledgeGraphError(
+            "ColumnarGraph is immutable; thaw() to a mutable KnowledgeGraph "
+            "or rebuild with ColumnarGraph.from_graph / from_triples"
+        )
+
+    def remove(self, subject: str, predicate: str, obj: str) -> bool:
+        """Unsupported; columnar graphs are immutable.  Use :meth:`thaw`."""
+        raise KnowledgeGraphError(
+            "ColumnarGraph is immutable; thaw() to a mutable KnowledgeGraph first"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection (columnar implementations of the base interface)
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of distinct triples."""
+        return self._store.n_triples
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Triple):
+            item = item.spo
+        if isinstance(item, tuple) and len(item) == 3:
+            return self._store.row_of(*item) is not None
+        return False
+
+    def triples(self) -> Iterator[Triple]:
+        """Iterate over all triples (row order; stable)."""
+        return self._store.iter_triples()
+
+    def score_of(self, subject: str, predicate: str, obj: str) -> float:
+        """Raw score of a triple; raises if absent."""
+        row = self._store.row_of(subject, predicate, obj)
+        if row is None:
+            raise KnowledgeGraphError(
+                f"triple ({subject!r}, {predicate!r}, {obj!r}) not in graph"
+            )
+        return float(self._store.scores[row])
+
+    def entities(self) -> set[str]:
+        """All subjects and objects."""
+        return self._store.unique_terms(self._store.subjects, self._store.objects)
+
+    def predicates(self) -> set[str]:
+        """All predicates."""
+        return self._store.unique_terms(self._store.predicates)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ColumnarGraph(name={self.name!r}, size={self.size})"

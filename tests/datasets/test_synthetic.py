@@ -106,3 +106,71 @@ class TestNameSeries:
     def test_negative_rejected(self):
         with pytest.raises(DatasetError):
             name_series("x", -1)
+
+
+class TestScaleProfiles:
+    def test_registry_contains_million(self):
+        from repro.datasets.synthetic import SCALE_PROFILES
+
+        assert "million" in SCALE_PROFILES
+        assert SCALE_PROFILES["million"].n_triples == 1_000_000
+        assert SCALE_PROFILES["smoke"].n_triples <= 10_000
+
+    def test_smoke_profile_exact_count_and_determinism(self):
+        from repro.datasets.synthetic import generate_scaled_graph
+
+        first = generate_scaled_graph("smoke", seed=3)
+        second = generate_scaled_graph("smoke", seed=3)
+        assert first.size == 10_000
+        assert (first.store.subjects == second.store.subjects).all()
+        assert (first.store.scores == second.store.scores).all()
+        assert first.name == "synthetic-smoke"
+
+    def test_different_seeds_differ(self):
+        from repro.datasets.synthetic import generate_scaled_graph
+
+        a = generate_scaled_graph("smoke", seed=1)
+        b = generate_scaled_graph("smoke", seed=2)
+        assert not (a.store.subjects == b.store.subjects).all()
+
+    def test_scores_are_power_law_counts(self):
+        from repro.datasets.synthetic import generate_scaled_graph
+
+        graph = generate_scaled_graph("smoke", seed=5)
+        scores = graph.store.scores
+        assert scores.min() >= 1.0
+        assert np.isfinite(scores).all()
+        # Heavy tail: the top percent carries far more than its share.
+        top = np.sort(scores)[-len(scores) // 100 :]
+        assert top.sum() > scores.sum() * 0.05
+
+    def test_graph_is_queryable(self):
+        from repro.datasets.synthetic import generate_scaled_graph
+        from repro.kg import TriplePattern, Variable
+
+        graph = generate_scaled_graph("smoke", seed=7)
+        predicate = next(iter(graph.predicates()))
+        matches = graph.match_list(
+            TriplePattern(Variable("s"), predicate, Variable("o"))
+        )
+        assert len(matches) > 0
+        assert matches.normalized_scores[0] == 1.0
+
+    def test_unknown_profile_rejected(self):
+        from repro.datasets.synthetic import generate_scaled_graph
+
+        with pytest.raises(DatasetError, match="unknown scale profile"):
+            generate_scaled_graph("galactic")
+
+    def test_impossible_profile_rejected(self):
+        from repro.datasets.synthetic import ScaleProfile
+
+        with pytest.raises(DatasetError, match="combinations"):
+            ScaleProfile("bad", n_triples=100, n_entities=2, n_predicates=2)
+
+    def test_custom_profile(self):
+        from repro.datasets.synthetic import ScaleProfile, generate_scaled_graph
+
+        profile = ScaleProfile("tiny", n_triples=500, n_entities=300, n_predicates=8)
+        graph = generate_scaled_graph(profile, seed=0)
+        assert graph.size == 500

@@ -86,3 +86,63 @@ class TestMain:
         output = capsys.readouterr().out
         assert "Figure 8" in output
         assert "█" in output  # chart bars rendered
+
+
+class TestConvert:
+    @pytest.fixture
+    def tsv_path(self, tmp_path):
+        path = tmp_path / "mini.tsv"
+        path.write_text("a\tp\tb\t2\nc\tp\td\t5\n")
+        return path
+
+    def test_tsv_to_snapshot_and_back(self, tsv_path, tmp_path, capsys):
+        snapshot = tmp_path / "mini.npz"
+        assert main(["convert", "--input", str(tsv_path), "--output", str(snapshot)]) == 0
+        assert "2 triples" in capsys.readouterr().out
+        assert snapshot.exists()
+
+        back = tmp_path / "back.tsv"
+        assert main(["convert", "--input", str(snapshot), "--output", str(back)]) == 0
+        assert back.read_bytes() == tsv_path.read_bytes()
+
+    def test_graph_name_override(self, tsv_path, tmp_path):
+        from repro.kg import storage
+
+        snapshot = tmp_path / "named.npz"
+        code = main(
+            [
+                "convert",
+                "--input", str(tsv_path),
+                "--output", str(snapshot),
+                "--graph-name", "renamed",
+            ]
+        )
+        assert code == 0
+        assert storage.load_snapshot(snapshot).name == "renamed"
+
+    def test_missing_arguments_fail(self, capsys):
+        assert main(["convert"]) == 2
+        assert "requires --input and --output" in capsys.readouterr().err
+
+    def test_unknown_suffix_fails(self, tsv_path, capsys):
+        code = main(["convert", "--input", str(tsv_path), "--output", "out.parquet"])
+        assert code == 2
+        assert "cannot infer storage format" in capsys.readouterr().err
+
+    def test_bad_tsv_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.tsv"
+        bad.write_text("a\tp\tb\tinf\n")
+        code = main(["convert", "--input", str(bad), "--output", str(tmp_path / "o.npz")])
+        assert code == 2
+        assert "non-finite score" in capsys.readouterr().err
+
+    def test_missing_input_file_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            [
+                "convert",
+                "--input", str(tmp_path / "absent.tsv"),
+                "--output", str(tmp_path / "o.npz"),
+            ]
+        )
+        assert code == 2
+        assert "convert failed" in capsys.readouterr().err

@@ -56,6 +56,13 @@ class TestTSVRoundTrip:
         with pytest.raises(KnowledgeGraphError):
             storage.load_tsv(path)
 
+    @pytest.mark.parametrize("raw", ["nan", "NaN", "inf", "-inf", "Infinity"])
+    def test_non_finite_score_rejected_with_line(self, tmp_path, raw):
+        path = tmp_path / "kg.tsv"
+        path.write_text(f"a\tp\tb\t1\nc\tp\td\t{raw}\n")
+        with pytest.raises(KnowledgeGraphError, match=r":2: non-finite score"):
+            storage.load_tsv(path)
+
 
 class TestNTriples:
     def test_round_trip_drops_scores(self, graph, tmp_path):
@@ -84,6 +91,114 @@ class TestNTriples:
             storage.load_ntriples(path)
 
 
+class TestSnapshots:
+    def test_round_trip_is_columnar(self, graph, tmp_path):
+        path = tmp_path / "kg.npz"
+        written = storage.save_snapshot(graph, path)
+        assert written == 3
+        loaded = storage.load_snapshot(path)
+        from repro.kg import ColumnarGraph
+
+        assert isinstance(loaded, ColumnarGraph)
+        assert set(loaded.triples()) == set(graph.triples())
+        assert loaded.score_of("a", "type", "t1") == 10.0
+
+    def test_mutable_round_trip(self, graph, tmp_path):
+        path = tmp_path / "kg.npz"
+        storage.save_snapshot(graph, path)
+        loaded = storage.load_snapshot(path, mutable=True)
+        assert type(loaded) is KnowledgeGraph
+        loaded.add("x", "y", "z")
+        assert loaded.size == 4
+
+    def test_name_stored_and_overridable(self, graph, tmp_path):
+        path = tmp_path / "kg.npz"
+        graph.name = "the-graph"
+        storage.save_snapshot(graph, path)
+        assert storage.load_snapshot(path).name == "the-graph"
+        assert storage.load_snapshot(path, name="other").name == "other"
+
+    def test_columnar_graph_saved_without_reinterning(self, graph, tmp_path):
+        from repro.kg import ColumnarGraph
+
+        columnar = ColumnarGraph.from_graph(graph)
+        path = tmp_path / "kg.npz"
+        assert storage.save_snapshot(columnar, path) == 3
+        assert set(storage.load_snapshot(path).triples()) == set(graph.triples())
+
+    def test_not_a_zip_raises(self, tmp_path):
+        path = tmp_path / "kg.npz"
+        path.write_bytes(b"definitely not a zip archive")
+        with pytest.raises(KnowledgeGraphError, match="cannot read snapshot"):
+            storage.load_snapshot(path)
+
+    def test_npz_without_header_raises(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "kg.npz"
+        with open(path, "wb") as handle:
+            np.savez(handle, unrelated=np.array([1, 2, 3]))
+        with pytest.raises(KnowledgeGraphError, match="not a knowledge-graph snapshot"):
+            storage.load_snapshot(path)
+
+    def test_wrong_magic_raises(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "kg.npz"
+        with open(path, "wb") as handle:
+            np.savez(
+                handle,
+                format=np.array("someone-elses-format"),
+                version=np.array(1),
+                name=np.array("kg"),
+                terms=np.empty(0, dtype="<U1"),
+                subjects=np.empty(0, dtype=np.int32),
+                predicates=np.empty(0, dtype=np.int32),
+                objects=np.empty(0, dtype=np.int32),
+                scores=np.empty(0),
+            )
+        with pytest.raises(KnowledgeGraphError, match="bad snapshot magic"):
+            storage.load_snapshot(path)
+
+    def test_future_version_raises(self, graph, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "kg.npz"
+        storage.save_snapshot(graph, path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = dict(data.items())
+        arrays["version"] = np.array(storage.SNAPSHOT_VERSION + 1)
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(KnowledgeGraphError, match="version"):
+            storage.load_snapshot(path)
+
+    def test_corrupt_columns_raise(self, graph, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "kg.npz"
+        storage.save_snapshot(graph, path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = dict(data.items())
+        arrays["scores"] = np.full_like(arrays["scores"], np.nan)
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(KnowledgeGraphError, match="corrupt snapshot"):
+            storage.load_snapshot(path)
+
+    def test_tsv_and_snapshot_agree(self, graph, tmp_path):
+        tsv_path = tmp_path / "kg.tsv"
+        npz_path = tmp_path / "kg.npz"
+        storage.save_tsv(graph, tsv_path)
+        storage.save_snapshot(graph, npz_path)
+        from_tsv = storage.load_tsv(tsv_path)
+        from_npz = storage.load_snapshot(npz_path)
+        assert set(from_tsv.triples()) == set(from_npz.triples())
+        round_trip = tmp_path / "round.tsv"
+        storage.save_tsv(from_npz, round_trip)
+        assert round_trip.read_bytes() == tsv_path.read_bytes()
+
+
 class TestFromTuples:
     def test_mixed_arity(self):
         kg = storage.from_tuples([("a", "p", "b"), ("c", "p", "d", 3.0)])
@@ -93,3 +208,20 @@ class TestFromTuples:
     def test_bad_arity_raises(self):
         with pytest.raises(KnowledgeGraphError):
             storage.from_tuples([("a", "p")])  # type: ignore[list-item]
+
+
+class TestSnapshotSaveValidation:
+    def test_nan_score_rejected_at_save_time(self, tmp_path):
+        # Triple's `score < 0` check lets NaN through; the snapshot
+        # writer must refuse rather than produce an unloadable file.
+        kg = KnowledgeGraph()
+        kg.add("a", "p", "b", score=float("nan"))
+        with pytest.raises(KnowledgeGraphError, match="finite"):
+            storage.save_snapshot(kg, tmp_path / "kg.npz")
+        assert not (tmp_path / "kg.npz").exists()  # validation precedes writing
+
+    def test_save_tsv_ignores_unrelated_store_attribute(self, graph, tmp_path):
+        graph.store = object()  # duck-typed attr that is not a ColumnarStore
+        path = tmp_path / "kg.tsv"
+        assert storage.save_tsv(graph, path) == 3
+        assert storage.load_tsv(path).size == 3
