@@ -2,19 +2,28 @@
 #
 #   make test    tier-1 verification (unit + property + integration + benchmarks)
 #   make bench   benchmark suite only, with timing tables
+#   make cov     tests with line coverage + the CI floor (needs pytest-cov)
 #   make docs    docs link + snippet import check, run every runnable doc surface
 #   make workload  demo the batch-serving layer (cold vs warm)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench docs workload
+#: Coverage floor enforced by `make cov` and the CI coverage job.
+COV_FAIL_UNDER ?= 80
+
+.PHONY: test bench cov docs workload
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q --benchmark-enable
+
+cov:
+	$(PYTHON) -m pytest tests -q --cov=repro \
+		--cov-report=term-missing:skip-covered \
+		--cov-fail-under=$(COV_FAIL_UNDER)
 
 docs:
 	$(PYTHON) scripts/check_docs_links.py

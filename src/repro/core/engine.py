@@ -22,6 +22,7 @@ from repro.core.plan import QueryPlan
 from repro.core.planner import PlannerDecision, SpecQPPlanner
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.index import MatchListCacheHook
+from repro.kg.sharding import ShardedGraph, ShardStrategy
 from repro.query.answer import Answer
 from repro.query.query import TriplePatternQuery
 from repro.query.sparql import parse_sparql
@@ -88,6 +89,16 @@ class SpecQPEngine:
         already on the graph raises, because it would silently reroute
         every other engine's lookups; engines built without this
         argument simply use whatever the graph already has attached.
+    shards:
+        When >= 2, partition the graph into that many shards (see
+        :class:`repro.kg.sharding.ShardedGraph`) and execute every leaf
+        scan as a lazy per-shard merge with threshold early termination.
+        Answers and scores are identical to unsharded execution; what
+        changes is that cold shards' match lists are often never built.
+        Graphs that are already sharded are used as-is.
+    shard_strategy:
+        ``"hash-subject"`` or ``"score-range"`` (only read when *shards*
+        triggers partitioning).
     """
 
     def __init__(
@@ -98,8 +109,12 @@ class SpecQPEngine:
         catalog: StatisticsCatalog | None = None,
         chain_rules: "ChainRuleSet | None" = None,
         match_list_cache: MatchListCacheHook | None = None,
+        shards: int | None = None,
+        shard_strategy: ShardStrategy = "hash-subject",
     ) -> None:
         self.config = config or EngineConfig()
+        if shards is not None and shards > 1 and not isinstance(graph, ShardedGraph):
+            graph = ShardedGraph.from_graph(graph, shards, strategy=shard_strategy)
         self.graph = graph
         self.rules = rules
         self.match_list_cache = match_list_cache

@@ -26,7 +26,7 @@ from repro.operators.chain_scan import ChainScan
 from repro.operators.incremental_merge import IncrementalMerge, WeightedInput
 from repro.operators.memory import ExecutionContext
 from repro.operators.rank_join import RankJoin
-from repro.operators.scan import SortedScan
+from repro.operators.shard_merge import build_leaf_scan
 from repro.query.query import TriplePatternQuery
 from repro.relax.chains import ChainRuleSet
 from repro.relax.rules import RuleSet
@@ -120,7 +120,7 @@ class QueryPlan:
         as extra Incremental Merge inputs for relaxed patterns.
         """
         group_ops: list[Operator] = [
-            SortedScan(graph, self.query.patterns[i], i, context)
+            build_leaf_scan(graph, self.query.patterns[i], i, context)
             for i in sorted(self.join_group)
         ]
         merge_ops: list[Operator] = [
@@ -164,7 +164,7 @@ class QueryPlan:
         pattern = self.query.patterns[pattern_index]
         inputs = [
             WeightedInput(
-                scan=SortedScan(graph, pattern, pattern_index, context),
+                scan=build_leaf_scan(graph, pattern, pattern_index, context),
                 weight=1.0,
                 label="original",
             )
@@ -175,7 +175,7 @@ class QueryPlan:
         for rule in applicable:
             inputs.append(
                 WeightedInput(
-                    scan=SortedScan(
+                    scan=build_leaf_scan(
                         graph, rule.range, pattern_index, context, weight=rule.weight
                     ),
                     weight=rule.weight,

@@ -8,6 +8,7 @@ pattern).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
@@ -60,13 +61,20 @@ class Workload:
         for start in range(0, len(source), batch_size):
             yield source[start : start + batch_size]
 
-    def stretched(self, n_queries: int) -> list[TriplePatternQuery]:
+    def stretched(
+        self, n_queries: int, seed: int | None = None
+    ) -> list[TriplePatternQuery]:
         """At least *n_queries* queries, cycling the set as needed.
 
         Repeats keep their original name plus a round suffix so batch
         reports stay attributable.  Cycling is the standard way to drive a
         workload-scale run from a fixed query set — repeats are exactly
         what shared caches exist to exploit.
+
+        With an explicit *seed* the stream is shuffled deterministically
+        (same seed, same stream), interleaving the rounds the way served
+        traffic actually arrives instead of replaying the set in order;
+        ``None`` keeps the plain cycling order.
         """
         if n_queries < 1:
             raise DatasetError(f"n_queries must be >= 1, got {n_queries}")
@@ -87,6 +95,8 @@ class Workload:
                 if len(stream) == n_queries:
                     break
             round_no += 1
+        if seed is not None:
+            random.Random(seed).shuffle(stream)
         return stream
 
     def validate(

@@ -6,6 +6,7 @@ Examples::
     spec-qp all --dataset twitter --scale small
     spec-qp fig7 --dataset xkg --ks 10 20
     spec-qp workload --min-queries 200 --workers 4 --mode both
+    spec-qp workload --shards 4 --shard-strategy score-range
     spec-qp convert --input graph.tsv --output graph.npz
 """
 
@@ -168,9 +169,20 @@ def run_workload(args: "argparse.Namespace") -> int:
 
     workload = build_workload(args.dataset, args.scale, args.seed)
     queries = workload.stretched(max(args.min_queries, len(workload.queries)))
-    runner = WorkloadRunner(workload, n_workers=args.workers)
+    runner = WorkloadRunner(
+        workload,
+        n_workers=args.workers,
+        shards=args.shards,
+        shard_strategy=args.shard_strategy,
+    )
     print(f"# workload: {workload.summary()}")
     print(f"# batch: {len(queries)} queries, k={args.k}, mode={args.mode}")
+    if args.shards > 1:
+        sizes = runner.graph.shard_sizes()
+        print(
+            f"# sharding: {args.shards} shards ({args.shard_strategy}), "
+            f"sizes={list(sizes)}"
+        )
 
     if args.mode == "both":
         comparison = runner.compare(queries, k=args.k)
@@ -230,6 +242,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     service.add_argument(
         "--mode", choices=("warm", "cold", "both"), default="warm",
         help="shared caches (warm), per-query rebuild (cold), or both",
+    )
+    service.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the graph into N shards with lazy per-shard "
+        "top-k merging (default 1 = unsharded)",
+    )
+    service.add_argument(
+        "--shard-strategy", choices=("hash-subject", "score-range"),
+        default="score-range",
+        help="row partitioning: stable subject hash, or contiguous "
+        "score ranges (default; hottest triples in shard 0)",
     )
     convert = parser.add_argument_group(
         "convert", "options for the 'convert' storage subcommand (TSV ⇄ snapshot)"

@@ -431,6 +431,22 @@ class ColumnarPatternIndex(PatternIndex):
         store = self._store()
         return store.decode_rows(store.rows_matching(key))
 
+    def peek(self, pattern: TriplePattern) -> tuple[int, float]:
+        """``(n_matches, max raw score)`` for *pattern* — columns only.
+
+        The cheap prefix of :meth:`match_list`: one boolean mask and one
+        ``max``, no decoding and no sorting.  Sharded execution uses it
+        to bound a shard's contribution before (possibly instead of)
+        building the shard's match list.
+        """
+        self._invalidate_if_stale()
+        store = self._store()
+        rows = store.rows_matching(pattern.key())
+        rows = self._filter_repeated_variables(pattern, rows, store)
+        if len(rows) == 0:
+            return 0, 0.0
+        return len(rows), float(store.scores[rows].max())
+
     def _store(self) -> ColumnarStore:
         return self._graph.store  # type: ignore[attr-defined]
 
@@ -524,6 +540,10 @@ class ColumnarGraph(KnowledgeGraph):
     def store(self) -> ColumnarStore:
         """The underlying dictionary-encoded columns."""
         return self._store
+
+    def peek_match(self, pattern: TriplePattern) -> tuple[int, float]:
+        """``(n_matches, max raw score)`` without building the match list."""
+        return self._index.peek(pattern)
 
     # ------------------------------------------------------------------
     # Mutation: refused (freeze-thaw model)

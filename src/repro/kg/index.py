@@ -245,6 +245,24 @@ class PatternIndex:
             self._match_lists[key] = cached
         return cached
 
+    def peek_match_list(self, pattern: TriplePattern) -> MatchList | None:
+        """The cached match list for *pattern*, or ``None`` — never builds.
+
+        Lets callers (the sharded leaf builder) take a cached-list fast
+        path without forcing construction on a miss.  With an external
+        cache, membership is probed first (when the hook supports it) so
+        a peek does not register as a statistical miss.
+        """
+        self._invalidate_if_stale()
+        key = pattern.key()
+        cache = self._external_cache
+        if cache is not None:
+            contains = getattr(type(cache), "__contains__", None)
+            if contains is not None and key not in cache:  # type: ignore[operator]
+                return None
+            return cache.get(key, self._built_version)
+        return self._match_lists.get(key)
+
     def _build_match_list(self, pattern: TriplePattern, key: PatternKey) -> MatchList:
         if len(set(pattern.variable_names)) != len(
             [t for t in pattern.terms if not isinstance(t, str)]

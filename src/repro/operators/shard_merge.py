@@ -1,0 +1,369 @@
+"""Top-k merge of per-shard answer streams with threshold early termination.
+
+The sharded substrate (:mod:`repro.kg.sharding`) slices every match list
+into per-shard sorted runs.  This module turns those runs back into the
+single sorted stream the rest of the operator algebra expects, without
+giving up the two properties the engine's correctness rests on:
+
+* **Exactness** — the merged stream is item-for-item the stream an
+  unsharded :class:`~repro.operators.scan.SortedScan` would emit: same
+  partial answers, same (globally normalised) scores, same order, same
+  upper bounds.  Parent operators therefore behave identically, so
+  sharded execution returns byte-identical answers.  One caveat bounds
+  the claim: the merge orders by *normalised* score, the unsharded list
+  by *raw* score.  The two orders coincide whenever distinct raw scores
+  stay distinct after the ``score / global_max`` division — true for
+  any score distribution with relative gaps above one ulp (integer
+  counts, the paper's setting, trivially qualify).  If two raw scores
+  in different shards collide to the same float quotient, the reported
+  scores are still identical but the merged order among just those
+  items falls back to the ``spo`` tie-break, which may pick a different
+  equal-scored answer at the top-k boundary.
+* **Laziness** — a shard's match list is only decoded and sorted when
+  the merge actually needs an item from it.  :class:`ShardMerge` pulls a
+  stream only while its upper bound can still reach the current merge
+  frontier (the classic rank-join threshold argument), so under
+  ``score-range`` sharding the cold shards of a top-k query are usually
+  never materialised at all.
+
+:func:`build_leaf_scan` is the factory the planner's operator-tree
+construction calls for every leaf: plain graphs get a plain
+:class:`SortedScan`; sharded graphs get a :class:`ShardMerge` over lazy
+:class:`ShardScan` streams.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import ExecutionError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.index import MatchList
+from repro.kg.pattern import TriplePattern
+from repro.operators.base import EXHAUSTED_BOUND, Operator
+from repro.operators.memory import ExecutionContext
+from repro.operators.scan import SortedScan
+from repro.query.answer import PartialAnswer
+
+#: Orders equal-score items; must be a total order within one merge.
+TieKey = Callable[[PartialAnswer], tuple]
+
+
+def _identity_tie_key(item: PartialAnswer) -> tuple:
+    return item.identity()
+
+
+class ShardScan(Operator):
+    """One shard's share of a pattern's match list, built on first pull.
+
+    Until the first :meth:`next`, the scan knows only what a vectorised
+    peek (or a shard-cache hit) provided: how many rows match and the
+    shard's maximum raw score.  That is enough for an *exact* upper
+    bound — ``weight * (local_max / global_max)`` is bit-for-bit the
+    score of the first item the scan would emit — so a merge can defer
+    or skip the build entirely.
+
+    Parameters
+    ----------
+    shard_graph:
+        The shard's :class:`~repro.kg.columnar.ColumnarGraph`; its
+        ``match_list`` (and per-shard cache) serves the eventual build.
+    global_max:
+        The pattern's *global* maximum raw score, the Definition-5
+        normaliser.  Emitted scores divide by this, not the shard-local
+        maximum, which is what keeps sharded scores identical to
+        unsharded ones.
+    n_matches / local_max:
+        The peeked shape of the shard's list.
+    match_list:
+        The shard's already-cached list, if one existed (skips the
+        rebuild but still rescales to *global_max*).
+    """
+
+    def __init__(
+        self,
+        shard_graph: KnowledgeGraph,
+        pattern: TriplePattern,
+        pattern_index: int,
+        context: ExecutionContext,
+        weight: float,
+        global_max: float,
+        n_matches: int,
+        local_max: float,
+        match_list: MatchList | None = None,
+    ) -> None:
+        self._graph = shard_graph
+        self._pattern = pattern
+        self._pattern_index = pattern_index
+        self._context = context
+        self._weight = weight
+        self._global_max = global_max
+        self._n_matches = n_matches
+        self._local_max = local_max
+        self._prebuilt = match_list
+        self._covered = frozenset({pattern_index})
+        self._inner: SortedScan | None = None
+
+    @property
+    def patterns_covered(self) -> frozenset[int]:
+        return self._covered
+
+    @property
+    def built(self) -> bool:
+        """Whether the shard's match list has been materialised."""
+        return self._inner is not None
+
+    def _rescaled(self, match_list: MatchList) -> MatchList:
+        """*match_list* with scores normalised by the global maximum.
+
+        When the shard happens to hold the global maximum the shard's
+        own normalisation already divided by the same float, so the list
+        is reused as-is (identical bits, no copy).
+        """
+        if match_list.max_score == self._global_max:
+            return match_list
+        if self._global_max > 0:
+            normalized = tuple(
+                triple.score / self._global_max for triple in match_list.triples
+            )
+        else:
+            normalized = tuple(0.0 for _ in match_list.triples)
+        return MatchList(
+            match_list.pattern_key, match_list.triples, self._global_max, normalized
+        )
+
+    def _ensure_built(self) -> SortedScan:
+        if self._inner is None:
+            match_list = self._prebuilt
+            if match_list is None:
+                match_list = self._graph.match_list(self._pattern)
+            self._inner = SortedScan(
+                self._graph,
+                self._pattern,
+                self._pattern_index,
+                self._context,
+                self._weight,
+                match_list=self._rescaled(match_list),
+            )
+        return self._inner
+
+    def next(self) -> PartialAnswer | None:
+        if self._n_matches == 0:
+            return None
+        return self._ensure_built().next()
+
+    def upper_bound(self) -> float:
+        if self._n_matches == 0:
+            return EXHAUSTED_BOUND
+        if self._inner is not None:
+            return self._inner.upper_bound()
+        if self._global_max > 0:
+            return self._weight * (self._local_max / self._global_max)
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "built" if self.built else f"lazy({self._n_matches})"
+        return f"ShardScan({self._pattern}, {state})"
+
+
+class ShardMerge(Operator):
+    """Merge N score-sorted streams into one, pulling as little as possible.
+
+    Each input stream must emit in non-increasing score order and honour
+    the :class:`~repro.operators.base.Operator` upper-bound contract; all
+    streams must cover the same query pattern(s).  The merge keeps at
+    most one peeked head per stream and **only pulls a stream whose
+    upper bound can still reach the best peeked head** — the threshold
+    rule that lets cold shards terminate early (often without a single
+    pull, see :class:`ShardScan`).
+
+    Ordering among equal scores follows *tie_key* (ascending), then the
+    stream position.  When the streams partition one match list and
+    *tie_key* restores that list's tie order — as
+    :func:`build_leaf_scan` arranges — the merged stream is exactly the
+    unsharded stream.
+    """
+
+    def __init__(
+        self,
+        streams: Sequence[Operator],
+        tie_key: TieKey | None = None,
+    ) -> None:
+        if not streams:
+            raise ExecutionError("shard merge needs at least one input stream")
+        covered = streams[0].patterns_covered
+        for stream in streams[1:]:
+            if stream.patterns_covered != covered:
+                raise ExecutionError(
+                    "all shard-merge inputs must cover the same query patterns"
+                )
+        self._streams = list(streams)
+        self._covered = covered
+        self._tie_key = tie_key or _identity_tie_key
+        self._heads: list[PartialAnswer | None] = [None] * len(self._streams)
+        self._done = [False] * len(self._streams)
+        #: Memoised upper_bound (parents probe bounds far more often than
+        #: they pull); invalidated by every next().
+        self._bound: float | None = None
+
+    @property
+    def patterns_covered(self) -> frozenset[int]:
+        return self._covered
+
+    @property
+    def n_streams(self) -> int:
+        return len(self._streams)
+
+    # ------------------------------------------------------------------
+    def _advance(self, index: int) -> None:
+        item = self._streams[index].next()
+        if item is None:
+            self._done[index] = True
+        else:
+            self._heads[index] = item
+
+    def _best_head(self) -> int | None:
+        best: int | None = None
+        best_key: tuple | None = None
+        for index, head in enumerate(self._heads):
+            if head is None:
+                continue
+            key = (-head.score, self._tie_key(head))
+            if best_key is None or key < best_key:
+                best, best_key = index, key
+        return best
+
+    def next(self) -> PartialAnswer | None:
+        while True:
+            best = self._best_head()
+            frontier = self._heads[best].score if best is not None else None
+            # The most promising stream without a peeked head.
+            top_bound: float | None = None
+            top_index: int | None = None
+            for index, head in enumerate(self._heads):
+                if head is not None or self._done[index]:
+                    continue
+                bound = self._streams[index].upper_bound()
+                if bound == EXHAUSTED_BOUND:
+                    self._done[index] = True
+                    continue
+                if top_bound is None or bound > top_bound:
+                    top_bound, top_index = bound, index
+            # A stream strictly below the frontier cannot contribute the
+            # next item (ties must be compared, hence the >=); pulling
+            # one stream at a time lets each pull raise the frontier and
+            # spare the remaining streams.
+            if top_index is None or (frontier is not None and top_bound < frontier):
+                break
+            self._advance(top_index)
+        self._bound = None
+        best = self._best_head()
+        if best is None:
+            return None
+        item = self._heads[best]
+        self._heads[best] = None
+        return item
+
+    def upper_bound(self) -> float:
+        if self._bound is not None:
+            return self._bound
+        candidates = [head.score for head in self._heads if head is not None]
+        for index, stream in enumerate(self._streams):
+            if self._heads[index] is None and not self._done[index]:
+                bound = stream.upper_bound()
+                if bound != EXHAUSTED_BOUND:
+                    candidates.append(bound)
+        self._bound = max(candidates) if candidates else EXHAUSTED_BOUND
+        return self._bound
+
+    def stream_states(self) -> list[str]:
+        """Diagnostics: ``"exhausted"``, ``"peeked"`` or ``"untouched"``
+        per stream (plus ``"lazy"``/``"built"`` for shard scans)."""
+        states = []
+        for index, stream in enumerate(self._streams):
+            if self._done[index]:
+                state = "exhausted"
+            elif self._heads[index] is not None:
+                state = "peeked"
+            else:
+                state = "untouched"
+            if isinstance(stream, ShardScan):
+                state += ":built" if stream.built else ":lazy"
+            states.append(state)
+        return states
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShardMerge({len(self._streams)} streams)"
+
+
+def _pattern_tie_key(pattern: TriplePattern) -> TieKey:
+    """Tie order restoring a match list's ``spo`` tie-break.
+
+    Within one pattern's match list all triples agree on the constant
+    positions, so comparing the variable bindings in S-P-O *position*
+    order is exactly the Definition-5 ``(s, p, o)`` comparison.
+    """
+    names = tuple(variable.name for variable in pattern.variables)
+
+    def key(item: PartialAnswer) -> tuple:
+        return tuple(item.bindings[name] for name in names)
+
+    return key
+
+
+def build_leaf_scan(
+    graph: KnowledgeGraph,
+    pattern: TriplePattern,
+    pattern_index: int,
+    context: ExecutionContext,
+    weight: float = 1.0,
+) -> Operator:
+    """The leaf operator for *pattern* over *graph*.
+
+    Plain graphs stream their match list through a
+    :class:`~repro.operators.scan.SortedScan`.  Graphs exposing
+    ``shard_leaf_inputs`` (i.e. :class:`~repro.kg.sharding.ShardedGraph`)
+    get a :class:`ShardMerge` over one lazy :class:`ShardScan` per shard,
+    each normalised by the pattern's global maximum score — an exact,
+    lazily materialised replacement for the unsharded scan.
+
+    Two fast paths keep repeat-heavy (fully warm) workloads free of
+    merge overhead, both emitting the identical stream: a pattern whose
+    *merged* list is already cached streams it through a plain
+    ``SortedScan``, and a pattern whose matches live in a single shard
+    skips the merge layer.
+    """
+    shard_leaf_inputs = getattr(graph, "shard_leaf_inputs", None)
+    if shard_leaf_inputs is None:
+        return SortedScan(graph, pattern, pattern_index, context, weight)
+    merged = graph.peek_match_list(pattern)
+    if merged is not None:
+        return SortedScan(
+            graph, pattern, pattern_index, context, weight, match_list=merged
+        )
+    global_max, inputs = shard_leaf_inputs(pattern)
+    streams = [
+        ShardScan(
+            entry.graph,
+            pattern,
+            pattern_index,
+            context,
+            weight,
+            global_max,
+            entry.n_matches,
+            entry.max_score,
+            entry.match_list,
+        )
+        for entry in inputs
+        if entry.n_matches
+    ]
+    if not streams:
+        # No shard matches: one born-exhausted scan keeps the operator
+        # contract (next() -> None, upper bound -inf).
+        return ShardScan(
+            inputs[0].graph, pattern, pattern_index, context, weight,
+            global_max, 0, 0.0, None,
+        )
+    if len(streams) == 1:
+        return streams[0]
+    return ShardMerge(streams, tie_key=_pattern_tie_key(pattern))

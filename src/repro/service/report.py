@@ -191,6 +191,13 @@ class WorkloadReport:
                 f"{self.extras['plan_cache_hits']} hits, "
                 f"{self.extras['plan_cache_size']} plans"
             )
+        if "shards" in self.extras:
+            lines.append(
+                f"{'shards':<{width}} "
+                f"{self.extras['shards']} ({self.extras['shard_strategy']}), "
+                f"shard caches {self.extras['shard_cache_hits']} hits / "
+                f"{self.extras['shard_cache_misses']} misses"
+            )
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -34,6 +34,7 @@ from repro.core.config import EngineConfig
 from repro.core.engine import QueryResult, SpecQPEngine
 from repro.datasets.workload import Workload
 from repro.errors import ExperimentError
+from repro.kg.sharding import ShardedGraph, ShardStrategy
 from repro.query.query import TriplePatternQuery
 from repro.service.cache import DEFAULT_CAPACITY, CacheStats, MatchListCache
 from repro.service.report import QueryOutcome, WorkloadReport
@@ -63,11 +64,27 @@ class WorkloadRunner:
         repeats.  Sound because planning only reads the (shared, warm)
         catalog; disable to force a fresh PLANGEN run per query.  Bounded
         to ``cache_capacity`` entries (LRU), like the match-list cache.
+    shards:
+        When >= 2, serve the workload from a
+        :class:`~repro.kg.sharding.ShardedGraph` built over the
+        workload's graph: every leaf scan becomes a lazy per-shard merge
+        with threshold early termination, and each shard gets its own
+        PR-1 match-list cache of ``cache_capacity // shards`` entries —
+        *on top of* the shared merged-list cache, which keeps the full
+        *cache_capacity*, so a sharded runner retains up to twice the
+        budget in match lists.  Answers are identical to unsharded
+        serving.
+    shard_strategy:
+        ``"hash-subject"`` or ``"score-range"``; ``"score-range"`` is
+        the throughput choice for top-k workloads (cold shards are
+        rarely materialised).
 
     The runner assumes the graph is not mutated *during* a batch.  Between
     batches, mutations are picked up automatically: the match-list cache
     is version-aware, and the catalog and plan cache are rebuilt when the
-    graph version they were built against no longer matches.
+    graph version they were built against no longer matches.  Sharded
+    runners snapshot the graph at construction time, so they serve the
+    triples the workload held when the runner was built.
     """
 
     def __init__(
@@ -77,12 +94,27 @@ class WorkloadRunner:
         n_workers: int = 1,
         cache_capacity: int = DEFAULT_CAPACITY,
         plan_cache: bool = True,
+        shards: int = 1,
+        shard_strategy: ShardStrategy = "score-range",
     ) -> None:
         if n_workers < 1:
             raise ExperimentError(f"n_workers must be >= 1, got {n_workers}")
+        if shards < 1:
+            raise ExperimentError(f"shards must be >= 1, got {shards}")
         self.workload = workload
         self.config = config or EngineConfig()
         self.n_workers = n_workers
+        self.shards = shards
+        self.shard_strategy = shard_strategy
+        if shards > 1:
+            self._graph = ShardedGraph.from_graph(
+                workload.graph,
+                shards,
+                strategy=shard_strategy,
+                shard_cache_capacity=max(1, cache_capacity // shards),
+            )
+        else:
+            self._graph = workload.graph
         self.cache = MatchListCache(cache_capacity)
         self.plan_cache = plan_cache
         self._plans: OrderedDict[object, object] = OrderedDict()
@@ -97,7 +129,8 @@ class WorkloadRunner:
     # ------------------------------------------------------------------
     @property
     def graph(self):
-        return self.workload.graph
+        """The served graph — the workload's, or its sharded snapshot."""
+        return self._graph
 
     @property
     def catalog(self) -> StatisticsCatalog:
@@ -170,6 +203,9 @@ class WorkloadRunner:
             self.graph.attach_match_list_cache(self.cache)
         stats_before = self.cache.stats()
         plan_hits_before = self._plan_hits
+        shard_stats_before = (
+            self.graph.shard_cache_stats() if self.shards > 1 else None
+        )
 
         started = time.perf_counter()
         if self.n_workers == 1:
@@ -179,6 +215,19 @@ class WorkloadRunner:
                 outcomes = list(pool.map(lambda q: self._execute_warm(q, k), queries))
         wall = time.perf_counter() - started
 
+        extras: dict[str, object] = {
+            "plan_cache_hits": self._plan_hits - plan_hits_before,
+            "plan_cache_size": len(self._plans),
+        }
+        if shard_stats_before is not None:
+            shard_delta = self._stats_delta(
+                shard_stats_before, self.graph.shard_cache_stats()
+            )
+            extras["shards"] = self.shards
+            extras["shard_strategy"] = self.shard_strategy
+            extras["shard_cache_hits"] = shard_delta.hits
+            extras["shard_cache_misses"] = shard_delta.misses
+
         return WorkloadReport(
             outcomes=tuple(outcomes),
             wall_seconds=wall,
@@ -187,10 +236,7 @@ class WorkloadRunner:
             cache=self._stats_delta(stats_before, self.cache.stats()),
             warmup_seconds=warmup_seconds,
             dataset=self.workload.name,
-            extras={
-                "plan_cache_hits": self._plan_hits - plan_hits_before,
-                "plan_cache_size": len(self._plans),
-            },
+            extras=extras,
         )
 
     def _run_cold(
@@ -297,7 +343,12 @@ class WorkloadRunner:
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sharding = (
+            f", shards={self.shards} ({self.shard_strategy})"
+            if self.shards > 1
+            else ""
+        )
         return (
             f"WorkloadRunner({self.workload.name!r}, "
-            f"n_workers={self.n_workers}, cache={self.cache!r})"
+            f"n_workers={self.n_workers}{sharding}, cache={self.cache!r})"
         )

@@ -68,3 +68,31 @@ class TestWorkload:
     def test_validate_clean(self):
         w = make_workload()
         assert w.validate() == []
+
+
+class TestStretchedSeed:
+    def test_same_seed_same_stream(self):
+        w = make_workload()
+        first = w.stretched(17, seed=42)
+        second = w.stretched(17, seed=42)
+        assert [q.name for q in first] == [q.name for q in second]
+        assert [q.patterns for q in first] == [q.patterns for q in second]
+
+    def test_different_seeds_differ(self):
+        w = make_workload()
+        streams = {
+            tuple(q.name for q in w.stretched(17, seed=seed))
+            for seed in range(5)
+        }
+        assert len(streams) > 1
+
+    def test_seed_preserves_multiset(self):
+        w = make_workload()
+        plain = w.stretched(17)
+        shuffled = w.stretched(17, seed=7)
+        assert sorted(q.name for q in plain) == sorted(q.name for q in shuffled)
+
+    def test_none_keeps_cycling_order(self):
+        w = make_workload()
+        names = [q.name for q in w.stretched(5)]
+        assert names == ["q1", "q2", "q1#r1", "q2#r1", "q1#r2"]

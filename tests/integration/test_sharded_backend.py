@@ -1,0 +1,107 @@
+"""Sharded-execution equivalence: the acceptance bar for the sharding PR.
+
+The full engine — statistics catalog, estimator, PLANGEN, operators — must
+produce *byte-identical* answers whether it runs over the plain substrate
+or a :class:`~repro.kg.sharding.ShardedGraph` with any shard count and
+either partitioning strategy, and the service layer must preserve that
+through its caches and plan reuse.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SpecQPEngine
+from repro.kg.sharding import ShardedGraph
+from repro.service import WorkloadRunner
+
+
+def _answer_rows(result):
+    return [(answer.bindings, answer.score) for answer in result.answers]
+
+
+@pytest.fixture(scope="module", params=["xkg", "twitter"])
+def workload(request, tiny_xkg_workload, tiny_twitter_workload):
+    return tiny_xkg_workload if request.param == "xkg" else tiny_twitter_workload
+
+
+class TestShardedEngineEquivalence:
+    @pytest.mark.parametrize("n_shards", [2, 3])
+    @pytest.mark.parametrize("strategy", ["hash-subject", "score-range"])
+    def test_specqp_answers_identical(self, workload, n_shards, strategy):
+        plain = SpecQPEngine(workload.graph, workload.rules)
+        sharded = SpecQPEngine(
+            workload.graph, workload.rules, shards=n_shards,
+            shard_strategy=strategy,
+        )
+        assert isinstance(sharded.graph, ShardedGraph)
+        for query in workload.queries:
+            expected = plain.query(query, k=10)
+            actual = sharded.query(query, k=10)
+            assert _answer_rows(actual) == _answer_rows(expected), query.name
+            assert actual.plan.describe() == expected.plan.describe(), query.name
+
+    def test_trinit_and_exact_answers_identical(self, workload):
+        plain = SpecQPEngine(workload.graph, workload.rules)
+        sharded = SpecQPEngine(
+            workload.graph, workload.rules, shards=3,
+            shard_strategy="score-range",
+        )
+        for query in workload.queries[:5]:
+            assert _answer_rows(
+                sharded.query_trinit(query, k=5)
+            ) == _answer_rows(plain.query_trinit(query, k=5))
+            assert _answer_rows(
+                sharded.query_exact(query, k=5)
+            ) == _answer_rows(plain.query_exact(query, k=5))
+
+    def test_repeated_queries_stay_identical(self, workload):
+        """Cache warm-up must not change sharded results."""
+        sharded = SpecQPEngine(
+            workload.graph, workload.rules, shards=2,
+            shard_strategy="score-range",
+        )
+        query = workload.queries[0]
+        first = sharded.query(query, k=8)
+        second = sharded.query(query, k=8)
+        assert _answer_rows(first) == _answer_rows(second)
+
+
+class TestShardedRunnerEquivalence:
+    @pytest.mark.parametrize("strategy", ["hash-subject", "score-range"])
+    def test_warm_batches_identical(self, workload, strategy):
+        queries = workload.stretched(30)
+        plain = WorkloadRunner(workload)
+        sharded = WorkloadRunner(workload, shards=3, shard_strategy=strategy)
+        expected = plain.run(queries, k=6, mode="warm")
+        actual = sharded.run(queries, k=6, mode="warm")
+        assert [o.n_answers for o in actual.outcomes] == [
+            o.n_answers for o in expected.outcomes
+        ]
+        assert [o.top_score for o in actual.outcomes] == [
+            o.top_score for o in expected.outcomes
+        ]
+        assert [o.plan for o in actual.outcomes] == [
+            o.plan for o in expected.outcomes
+        ]
+        assert actual.extras["shards"] == 3
+        assert "shards" in actual.render()
+
+    def test_cold_mode_identical(self, workload):
+        queries = workload.queries[:5]
+        plain = WorkloadRunner(workload)
+        sharded = WorkloadRunner(workload, shards=2)
+        expected = plain.run(queries, k=5, mode="cold")
+        actual = sharded.run(queries, k=5, mode="cold")
+        assert [o.top_score for o in actual.outcomes] == [
+            o.top_score for o in expected.outcomes
+        ]
+
+    def test_shard_caches_are_used(self, workload):
+        runner = WorkloadRunner(workload, shards=2, shard_strategy="score-range")
+        report = runner.run(workload.stretched(20), k=5, mode="warm")
+        shard_lookups = (
+            report.extras["shard_cache_hits"] + report.extras["shard_cache_misses"]
+        )
+        assert shard_lookups >= 0
+        assert runner.graph.shard_cache_stats().size > 0

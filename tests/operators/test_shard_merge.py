@@ -1,0 +1,242 @@
+"""Unit tests for the per-shard top-k merge operator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.kg.columnar import ColumnarStore
+from repro.kg.pattern import TriplePattern, Variable
+from repro.kg.sharding import ShardedGraph
+from repro.kg.triple import Triple
+from repro.operators.base import EXHAUSTED_BOUND, Operator
+from repro.operators.memory import ExecutionContext
+from repro.operators.scan import SortedScan
+from repro.operators.shard_merge import ShardMerge, ShardScan, build_leaf_scan
+from repro.query.answer import PartialAnswer
+
+VAR_S = Variable("s")
+VAR_O = Variable("o")
+
+
+class ListStream(Operator):
+    """A sorted stream over explicit (bindings, score) pairs, counting pulls."""
+
+    def __init__(self, items, covered=frozenset({0})):
+        self._items = [
+            PartialAnswer(dict(bindings), score, covered)
+            for bindings, score in items
+        ]
+        self._covered = covered
+        self._position = 0
+        self.pulls = 0
+
+    @property
+    def patterns_covered(self):
+        return self._covered
+
+    def next(self):
+        if self._position >= len(self._items):
+            return None
+        self.pulls += 1
+        item = self._items[self._position]
+        self._position += 1
+        return item
+
+    def upper_bound(self):
+        if self._position >= len(self._items):
+            return EXHAUSTED_BOUND
+        return self._items[self._position].score
+
+
+def drain(operator):
+    return [
+        (tuple(sorted(item.bindings.items())), item.score) for item in operator
+    ]
+
+
+class TestShardMerge:
+    def test_merges_in_score_order(self):
+        left = ListStream([({"s": "a"}, 0.9), ({"s": "c"}, 0.4)])
+        right = ListStream([({"s": "b"}, 0.7), ({"s": "d"}, 0.1)])
+        merged = ShardMerge([left, right])
+        assert [score for _, score in drain(merged)] == [0.9, 0.7, 0.4, 0.1]
+
+    def test_ties_follow_tie_key(self):
+        left = ListStream([({"s": "b"}, 0.5)])
+        right = ListStream([({"s": "a"}, 0.5)])
+        merged = ShardMerge(
+            [left, right], tie_key=lambda item: (item.bindings["s"],)
+        )
+        assert [b for b, _ in drain(merged)] == [
+            (("s", "a"),),
+            (("s", "b"),),
+        ]
+
+    def test_threshold_skips_cold_streams(self):
+        hot = ListStream([({"s": "a"}, 0.9), ({"s": "b"}, 0.8), ({"s": "c"}, 0.7)])
+        cold = ListStream([({"s": "x"}, 0.2)])
+        merged = ShardMerge([hot, cold])
+        assert merged.next().score == 0.9
+        assert merged.next().score == 0.8
+        # The cold stream's bound (0.2) never reached the frontier.
+        assert cold.pulls == 0
+        assert merged.stream_states()[1] == "untouched"
+
+    def test_upper_bound_tracks_heads_and_unpeeked(self):
+        hot = ListStream([({"s": "a"}, 0.9)])
+        cold = ListStream([({"s": "x"}, 0.5)])
+        merged = ShardMerge([hot, cold])
+        assert merged.upper_bound() == 0.9
+        assert merged.next().score == 0.9
+        assert merged.upper_bound() == 0.5
+        assert merged.next().score == 0.5
+        assert merged.next() is None
+        assert merged.upper_bound() == EXHAUSTED_BOUND
+
+    def test_empty_streams(self):
+        merged = ShardMerge([ListStream([]), ListStream([])])
+        assert merged.next() is None
+        assert merged.next() is None
+
+    def test_requires_streams(self):
+        with pytest.raises(ExecutionError):
+            ShardMerge([])
+
+    def test_rejects_mismatched_coverage(self):
+        with pytest.raises(ExecutionError):
+            ShardMerge(
+                [
+                    ListStream([], covered=frozenset({0})),
+                    ListStream([], covered=frozenset({1})),
+                ]
+            )
+
+
+def tiny_sharded(n_shards=3, strategy="score-range"):
+    triples = [
+        Triple("a", "p", "x", 10.0),
+        Triple("b", "p", "x", 8.0),
+        Triple("c", "p", "y", 8.0),
+        Triple("d", "p", "y", 5.0),
+        Triple("e", "p", "z", 3.0),
+        Triple("f", "p", "z", 1.0),
+        Triple("a", "q", "x", 6.0),
+    ]
+    store = ColumnarStore.from_triples(triples)
+    return ShardedGraph(store, n_shards, strategy=strategy)
+
+
+class TestShardScan:
+    def test_lazy_until_pulled(self):
+        graph = tiny_sharded()
+        pattern = TriplePattern(VAR_S, "p", VAR_O)
+        global_max, inputs = graph.shard_leaf_inputs(pattern)
+        entry = inputs[0]
+        scan = ShardScan(
+            entry.graph, pattern, 0, ExecutionContext(), 1.0,
+            global_max, entry.n_matches, entry.max_score, entry.match_list,
+        )
+        assert not scan.built
+        assert scan.upper_bound() == 1.0  # 10.0 / 10.0, exact
+        assert scan.next() is not None
+        assert scan.built
+
+    def test_empty_shard_never_builds(self):
+        graph = tiny_sharded()
+        pattern = TriplePattern(VAR_S, "q", VAR_O)  # one match, hottest shard
+        global_max, inputs = graph.shard_leaf_inputs(pattern)
+        empty = [entry for entry in inputs if entry.n_matches == 0]
+        assert empty, "expected at least one shard without 'q' matches"
+        scan = ShardScan(
+            empty[0].graph, pattern, 0, ExecutionContext(), 1.0,
+            global_max, 0, 0.0, None,
+        )
+        assert scan.upper_bound() == EXHAUSTED_BOUND
+        assert scan.next() is None
+        assert not scan.built
+
+    def test_rescales_to_global_max(self):
+        graph = tiny_sharded(n_shards=2, strategy="score-range")
+        pattern = TriplePattern(VAR_S, "p", VAR_O)
+        global_max, inputs = graph.shard_leaf_inputs(pattern)
+        cold = inputs[-1]
+        assert cold.max_score < global_max
+        scan = ShardScan(
+            cold.graph, pattern, 0, ExecutionContext(), 1.0,
+            global_max, cold.n_matches, cold.max_score, cold.match_list,
+        )
+        first = scan.next()
+        # Normalised against the global maximum, not the shard's own.
+        assert math.isclose(first.score, cold.max_score / global_max)
+        assert scan.upper_bound() <= first.score
+
+
+class TestBuildLeafScan:
+    def test_plain_graph_gets_sorted_scan(self):
+        from repro.kg.graph import KnowledgeGraph
+
+        kg = KnowledgeGraph()
+        kg.add("a", "p", "x", score=2.0)
+        leaf = build_leaf_scan(kg, TriplePattern(VAR_S, "p", VAR_O), 0, ExecutionContext())
+        assert isinstance(leaf, SortedScan)
+
+    @pytest.mark.parametrize("strategy", ["hash-subject", "score-range"])
+    @pytest.mark.parametrize("n_shards", [2, 3, 7])
+    def test_sharded_stream_identical_to_unsharded(self, strategy, n_shards):
+        graph = tiny_sharded(n_shards=n_shards, strategy=strategy)
+        from repro.kg.columnar import ColumnarGraph
+
+        plain = ColumnarGraph(graph.store)
+        pattern = TriplePattern(VAR_S, "p", VAR_O)
+        sharded_leaf = build_leaf_scan(graph, pattern, 0, ExecutionContext())
+        plain_leaf = build_leaf_scan(plain, pattern, 0, ExecutionContext())
+        assert drain(sharded_leaf) == drain(plain_leaf)
+
+    def test_weighted_leaf_matches_unsharded(self):
+        graph = tiny_sharded(n_shards=3, strategy="hash-subject")
+        from repro.kg.columnar import ColumnarGraph
+
+        plain = ColumnarGraph(graph.store)
+        pattern = TriplePattern(VAR_S, "p", VAR_O)
+        sharded = build_leaf_scan(graph, pattern, 0, ExecutionContext(), weight=0.6)
+        unsharded = build_leaf_scan(plain, pattern, 0, ExecutionContext(), weight=0.6)
+        assert drain(sharded) == drain(unsharded)
+
+    def test_score_range_top_k_skips_cold_shards(self):
+        graph = tiny_sharded(n_shards=3, strategy="score-range")
+        pattern = TriplePattern(VAR_S, "p", VAR_O)
+        leaf = build_leaf_scan(graph, pattern, 0, ExecutionContext())
+        assert isinstance(leaf, ShardMerge)
+        leaf.next()  # top-1
+        states = leaf.stream_states()
+        assert states[-1].endswith(":lazy"), states
+
+    def test_cached_merged_list_takes_sorted_scan_fast_path(self):
+        graph = tiny_sharded(n_shards=3, strategy="score-range")
+        pattern = TriplePattern(VAR_S, "p", VAR_O)
+        graph.match_list(pattern)  # merged list now cached on the graph
+        leaf = build_leaf_scan(graph, pattern, 0, ExecutionContext())
+        assert isinstance(leaf, SortedScan)
+        plain_leaf = build_leaf_scan(
+            tiny_sharded(n_shards=1), pattern, 0, ExecutionContext()
+        )
+        assert drain(leaf) == drain(plain_leaf)
+
+    def test_single_nonempty_shard_collapses_to_shard_scan(self):
+        graph = tiny_sharded(n_shards=3, strategy="score-range")
+        # 'q' has exactly one match (score 6.0), in exactly one shard.
+        pattern = TriplePattern(VAR_S, "q", VAR_O)
+        leaf = build_leaf_scan(graph, pattern, 0, ExecutionContext())
+        assert isinstance(leaf, ShardScan)
+        assert [score for _, score in drain(leaf)] == [1.0]
+
+    def test_no_matches_anywhere(self):
+        graph = tiny_sharded(n_shards=2)
+        leaf = build_leaf_scan(
+            graph, TriplePattern(VAR_S, "missing", VAR_O), 0, ExecutionContext()
+        )
+        assert leaf.next() is None
+        assert leaf.upper_bound() == EXHAUSTED_BOUND

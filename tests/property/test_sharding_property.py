@@ -1,0 +1,127 @@
+"""Property: sharded top-k execution is indistinguishable from unsharded.
+
+For random graphs and random (star-joined) queries, every shard count in
+{1, 2, 3, 7} and both partitioning strategies must yield exactly the
+answers — bindings *and* scores — of unsharded execution, relaxations
+included.  This is the invariant the whole sharding subsystem rests on:
+partitioning is an execution detail, never a semantics change.
+
+Scores are drawn as small integers deliberately: that is the exactness
+domain the merge documents (distinct raw scores stay distinct after
+normalisation; see ``repro.operators.shard_merge``) and the shape of the
+paper's count-based scores.  Sub-ulp raw-score collisions are outside
+the byte-identical guarantee.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import SpecQPEngine
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pattern import TriplePattern, Variable
+from repro.query.query import TriplePatternQuery
+from repro.relax.rules import RelaxationRule, RuleSet
+from repro.kg.triple import Triple
+
+SHARD_COUNTS = (1, 2, 3, 7)
+
+SUBJECTS = [f"s{i}" for i in range(8)]
+PREDICATES = [f"p{i}" for i in range(3)]
+OBJECTS = [f"o{i}" for i in range(5)]
+
+triples = st.lists(
+    st.tuples(
+        st.sampled_from(SUBJECTS),
+        st.sampled_from(PREDICATES),
+        st.sampled_from(OBJECTS),
+        st.integers(min_value=0, max_value=50),
+    ),
+    min_size=3,
+    max_size=40,
+)
+
+# Star queries on ?s: each pattern binds the predicate and either binds
+# the object or leaves it open — the shape of the paper's workloads.
+pattern_specs = st.lists(
+    st.tuples(
+        st.sampled_from(PREDICATES),
+        st.one_of(st.none(), st.sampled_from(OBJECTS)),
+    ),
+    min_size=1,
+    max_size=3,
+    unique=True,
+)
+
+
+def build_graph(rows) -> KnowledgeGraph:
+    kg = KnowledgeGraph(name="prop")
+    kg.add_triples(
+        Triple(s, p, o, float(score)) for s, p, o, score in rows
+    )
+    return kg
+
+
+def build_query(specs) -> TriplePatternQuery:
+    subject = Variable("s")
+    patterns = []
+    for index, (predicate, obj) in enumerate(specs):
+        term = obj if obj is not None else Variable(f"o{index}")
+        patterns.append(TriplePattern(subject, predicate, term))
+    return TriplePatternQuery(patterns)
+
+
+def build_rules(specs) -> RuleSet:
+    """Relax every object-bound pattern to a sibling object constant."""
+    rules = RuleSet()
+    subject = Variable("s")
+    for predicate, obj in specs:
+        if obj is None:
+            continue
+        sibling = OBJECTS[(OBJECTS.index(obj) + 1) % len(OBJECTS)]
+        rules.add(
+            RelaxationRule(
+                TriplePattern(subject, predicate, obj),
+                TriplePattern(subject, predicate, sibling),
+                0.7,
+            )
+        )
+    return rules
+
+
+def answer_rows(result):
+    return [(answer.bindings, answer.score) for answer in result.answers]
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows=triples, specs=pattern_specs, k=st.integers(min_value=1, max_value=6))
+def test_sharded_answers_identical_for_every_shard_count(rows, specs, k):
+    graph = build_graph(rows)
+    rules = build_rules(specs)
+    query = build_query(specs)
+    expected = answer_rows(SpecQPEngine(graph, rules).query(query, k=k))
+    for n_shards in SHARD_COUNTS:
+        for strategy in ("hash-subject", "score-range"):
+            engine = SpecQPEngine(
+                graph, rules, shards=n_shards, shard_strategy=strategy
+            )
+            actual = answer_rows(engine.query(query, k=k))
+            assert actual == expected, (n_shards, strategy)
+
+
+@settings(max_examples=15, deadline=None)
+@given(rows=triples, specs=pattern_specs)
+def test_sharded_match_lists_identical(rows, specs):
+    from repro.kg.sharding import ShardedGraph
+
+    graph = build_graph(rows)
+    query = build_query(specs)
+    for n_shards in SHARD_COUNTS:
+        sharded = ShardedGraph.from_graph(graph, n_shards, strategy="score-range")
+        for pattern in query.patterns:
+            expected = graph.match_list(pattern)
+            actual = sharded.match_list(pattern)
+            assert actual.triples == expected.triples
+            assert actual.max_score == expected.max_score
+            assert actual.normalized_scores == expected.normalized_scores

@@ -1,0 +1,118 @@
+"""Fuzz-style tests: the mini-SPARQL parser never leaks bare exceptions.
+
+Contract under fuzzing: for *any* input string, :func:`parse_sparql`
+either returns a valid :class:`TriplePatternQuery` or raises a
+:class:`repro.errors.ReproError` subtype carrying a non-empty, useful
+message — never ``IndexError`` / ``AttributeError`` / friends.  Syntax
+problems specifically surface as :class:`SparqlSyntaxError` with the
+offending offset where one is known.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError, SparqlSyntaxError
+from repro.query.query import TriplePatternQuery
+from repro.query.sparql import parse_sparql
+
+VALID = "SELECT ?s WHERE { ?s 'rdf:type' <singer> . ?s 'rdf:type' <lyricist> }"
+
+#: Tokens a mutator can splice together — valid fragments, junk, and
+#: boundary characters the tokenizer treats specially.
+FRAGMENTS = st.sampled_from(
+    [
+        "SELECT", "WHERE", "select", "*", "?s", "?o", "?", "{", "}", ".",
+        "<singer>", "<>", "'quoted'", "''", '"dq"', "bare", "rdf:type",
+        "'unterminated", "<unclosed", "\\", "\x00", "\n", " ", "🦈",
+    ]
+)
+
+
+def assert_well_behaved(text: str) -> None:
+    """Parse *text*; any failure must be a ReproError with a real message."""
+    try:
+        query = parse_sparql(text)
+    except ReproError as error:
+        assert str(error), f"empty error message for input {text!r}"
+    except Exception as error:  # pragma: no cover - the bug being hunted
+        pytest.fail(
+            f"parse_sparql leaked {type(error).__name__}: {error!r} "
+            f"for input {text!r}"
+        )
+    else:
+        assert isinstance(query, TriplePatternQuery)
+        assert len(query) >= 1
+
+
+class TestFuzzArbitraryText:
+    @settings(max_examples=300, deadline=None)
+    @given(st.text(max_size=80))
+    @example("")
+    @example("\x00")
+    @example("SELECT ?s WHERE {" * 10)
+    def test_arbitrary_text_never_leaks(self, text):
+        assert_well_behaved(text)
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.lists(FRAGMENTS, max_size=25).map(" ".join))
+    def test_fragment_soup_never_leaks(self, text):
+        assert_well_behaved(text)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=len(VALID)),
+        st.integers(min_value=0, max_value=len(VALID)),
+        st.text(max_size=5),
+    )
+    def test_mutated_valid_query_never_leaks(self, start, stop, splice):
+        lo, hi = sorted((start, stop))
+        assert_well_behaved(VALID[:lo] + splice + VALID[hi:])
+
+
+class TestMalformedMessages:
+    """Handcrafted malformed inputs must fail precisely and helpfully."""
+
+    @pytest.mark.parametrize(
+        ("text", "needle"),
+        [
+            ("", "non-empty"),
+            ("   \t\n", "non-empty"),
+            ("WHERE { ?s p o }", "SELECT"),
+            ("SELECT", "end of query"),
+            ("SELECT WHERE { ?s p o }", "projection"),
+            ("SELECT ?s { ?s p o }", "WHERE"),
+            ("SELECT ?s WHERE ?s p o }", "expected LBRACE"),
+            ("SELECT ?s WHERE { }", "empty WHERE"),
+            ("SELECT ?s WHERE { ?s p }", "expected a term"),
+            ("SELECT ?s WHERE { ?s p o", "unterminated WHERE"),
+            ("SELECT ?s WHERE { ?s p o } trailing", "trailing"),
+            ("SELECT ?s WHERE { ?s '' o }", "empty quoted"),
+            ("SELECT ?s WHERE { ?s p 'open }", "unexpected character"),
+            ("SELECT ?s WHERE { ?s SELECT o }", "keyword"),
+        ],
+    )
+    def test_message_names_the_problem(self, text, needle):
+        with pytest.raises(SparqlSyntaxError) as excinfo:
+            parse_sparql(text)
+        assert needle.lower() in str(excinfo.value).lower()
+
+    def test_position_reported_when_known(self):
+        with pytest.raises(SparqlSyntaxError) as excinfo:
+            parse_sparql("SELECT ?s WHERE { ?s p o } junk")
+        assert excinfo.value.position == 27
+        assert "offset 27" in str(excinfo.value)
+
+    def test_non_string_input(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_sparql(None)  # type: ignore[arg-type]
+        with pytest.raises(SparqlSyntaxError):
+            parse_sparql(42)  # type: ignore[arg-type]
+
+    def test_query_level_errors_are_repro_errors(self):
+        # Duplicate patterns: rejected by TriplePatternQuery, still a
+        # ReproError for callers that catch the family.
+        with pytest.raises(ReproError):
+            parse_sparql("SELECT ?s WHERE { ?s p o . ?s p o }")
