@@ -28,7 +28,11 @@ cov:
 docs:
 	$(PYTHON) scripts/check_docs_links.py
 	$(PYTHON) -c "import repro; assert repro.__doc__ and 'Quickstart' in repro.__doc__"
-	$(PYTHON) examples/quickstart.py > /dev/null && echo "quickstart OK"
+	@for script in examples/*.py; do \
+		echo "running $$script"; \
+		$(PYTHON) $$script > /dev/null || exit 1; \
+	done
+	@echo "examples OK"
 
 workload:
 	$(PYTHON) -m repro.experiments workload --scale small --mode both

@@ -1,0 +1,160 @@
+"""Benchmark: the delta write path vs full rebuild, and post-compaction reads.
+
+Two claims pin the live-update subsystem's performance:
+
+* **Write amplification** — absorbing a 1% update batch on the medium
+  profile (100k triples) through the :class:`LiveGraph` delta path must
+  be at least **10x faster** than the freeze-thaw alternative (thaw to an
+  object graph, apply, re-freeze to columns), because the delta path
+  touches only the mutated keys while the rebuild touches every row.
+* **Read parity after compaction** — once the delta is folded into a
+  fresh base, warm serving throughput over the live wrapper must be
+  within **10%** of the static sharded backend: the overlay's empty-delta
+  fast paths delegate straight to the base, so steady-state reads pay
+  (almost) nothing for writability.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.datasets import generate_scaled_graph
+from repro.datasets.workload import Workload
+from repro.kg.columnar import ColumnarGraph
+from repro.kg.delta import GraphUpdate, LiveGraph
+from repro.kg.pattern import TriplePattern, Variable
+from repro.kg.sharding import ShardedGraph
+from repro.query.query import TriplePatternQuery
+from repro.relax.rules import RuleSet
+from repro.service import WorkloadRunner
+
+N_SHARDS = 4
+CACHE_CAPACITY = 8
+BATCH = 120
+K = 10
+#: 1% of the medium profile's 100k triples.
+UPDATE_FRACTION = 0.01
+
+
+@pytest.fixture(scope="module")
+def medium_graph():
+    return generate_scaled_graph("medium", seed=7)
+
+
+def one_percent_batch(graph: ColumnarGraph) -> list[GraphUpdate]:
+    """A 1% mixed batch: fresh adds, score overwrites and removes."""
+    import numpy as np
+
+    n = max(1, int(graph.size * UPDATE_FRACTION))
+    store = graph.store
+    existing = store.decode_rows(np.arange(0, n // 2 * 3, 3))
+    batch: list[GraphUpdate] = []
+    for index, triple in enumerate(existing):
+        if index % 2:
+            batch.append(GraphUpdate.remove(*triple.spo))
+        else:
+            batch.append(GraphUpdate.add(*triple.spo, triple.score + 1.0))
+    while len(batch) < n:
+        index = len(batch)
+        batch.append(
+            GraphUpdate.add(f"fresh{index:05d}", "p000", f"e{index:05d}", 5.0)
+        )
+    return batch[:n]
+
+
+def test_delta_write_path_beats_full_rebuild(benchmark, medium_graph):
+    batch = one_percent_batch(medium_graph)
+    assert len(batch) == 1000
+
+    started = time.perf_counter()
+    thawed = medium_graph.thaw()
+    for update in batch:
+        if update.op == "+":
+            thawed.add_triple(update.triple())
+        else:
+            thawed.remove(*update.spo)
+    rebuilt = ColumnarGraph.from_graph(thawed)
+    rebuild_seconds = time.perf_counter() - started
+
+    def delta_apply():
+        live = LiveGraph(medium_graph)
+        live.apply_updates(batch)
+        return live
+
+    live = benchmark.pedantic(delta_apply, rounds=1, iterations=1)
+    delta_seconds = benchmark.stats.stats.mean
+
+    assert live.size == rebuilt.size
+    speedup = rebuild_seconds / delta_seconds
+    print(
+        f"\n1% batch ({len(batch)} updates) on medium: "
+        f"rebuild {rebuild_seconds * 1e3:.1f} ms, "
+        f"delta {delta_seconds * 1e3:.1f} ms, {speedup:.1f}x"
+    )
+    assert speedup >= 10, (
+        f"delta path should beat full rebuild by >= 10x, got {speedup:.1f}x "
+        f"(rebuild {rebuild_seconds:.3f}s, delta {delta_seconds:.3f}s)"
+    )
+
+    # And compaction folds back into a store the rebuild path agrees with.
+    live.compact()
+    assert live.base.size == rebuilt.size
+
+
+def diverse_queries() -> list[TriplePatternQuery]:
+    subject, obj = Variable("s"), Variable("o")
+    queries = [
+        TriplePatternQuery(
+            (TriplePattern(subject, f"p{i:03d}", obj),), name=f"pred-{i}"
+        )
+        for i in range(32)
+    ]
+    queries += [
+        TriplePatternQuery(
+            (TriplePattern(subject, f"p{i:03d}", f"e{j:05d}"),),
+            name=f"obj-{i}-{j}",
+        )
+        for i, j in [(0, 0), (1, 1), (2, 0), (0, 2), (3, 1), (1, 0), (2, 2), (4, 0)]
+    ]
+    return queries
+
+
+def warm_qps(graph, queries) -> float:
+    """Best warm batch throughput of three runs over a pre-built graph."""
+    workload = Workload("live-bench", graph, RuleSet(), queries)
+    runner = WorkloadRunner(workload, cache_capacity=CACHE_CAPACITY)
+    batch = workload.stretched(BATCH)
+    best = 0.0
+    for _ in range(3):
+        report = runner.run(batch, k=K, mode="warm")
+        best = max(best, report.queries_per_second)
+    return best
+
+
+def test_compacted_live_reads_match_static_sharded(benchmark, medium_graph):
+    queries = diverse_queries()
+    static = ShardedGraph(medium_graph.store, N_SHARDS, strategy="score-range")
+
+    live = LiveGraph(
+        ShardedGraph(medium_graph.store, N_SHARDS, strategy="score-range")
+    )
+    live.apply_updates(one_percent_batch(medium_graph))
+    live.compact()
+    assert live.delta_size == 0
+
+    static_qps = warm_qps(static, queries)
+    live_qps = benchmark.pedantic(
+        lambda: warm_qps(live, queries), rounds=1, iterations=1
+    )
+
+    ratio = live_qps / static_qps
+    print(
+        f"\nwarm read qps: static sharded {static_qps:.1f}, "
+        f"compacted live {live_qps:.1f} ({ratio:.2f}x)"
+    )
+    assert ratio >= 0.9, (
+        f"compacted live serving should stay within 10% of the static "
+        f"sharded backend: static {static_qps:.1f} qps, live {live_qps:.1f} qps"
+    )

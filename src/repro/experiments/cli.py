@@ -8,6 +8,7 @@ Examples::
     spec-qp workload --min-queries 200 --workers 4 --mode both
     spec-qp workload --shards 4 --shard-strategy score-range
     spec-qp convert --input graph.tsv --output graph.npz
+    spec-qp update --input graph.npz --updates edits.tsv --output graph2.npz
 """
 
 from __future__ import annotations
@@ -31,7 +32,7 @@ from repro.metrics.efficiency import TimingProtocol
 
 EXPERIMENTS = (
     "table2", "table3", "table4", "fig6", "fig7", "fig8", "fig9", "all",
-    "workload", "convert",
+    "workload", "convert", "update",
 )
 
 #: Scales for quick runs vs full reproduction.
@@ -132,7 +133,6 @@ def run_convert(args: "argparse.Namespace") -> int:
 
     from repro.errors import KnowledgeGraphError
     from repro.kg import storage
-    from repro.kg.columnar import ColumnarGraph
 
     if not args.input or not args.output:
         raise ExperimentError("convert requires --input and --output")
@@ -140,15 +140,7 @@ def run_convert(args: "argparse.Namespace") -> int:
     out_format = _storage_format(args.output)
     started = time.perf_counter()
     try:
-        if in_format == "snapshot":
-            graph = storage.load_snapshot(args.input, name=args.graph_name)
-        else:
-            from pathlib import Path
-
-            graph = ColumnarGraph.from_triples(
-                storage.iter_tsv(args.input),
-                name=args.graph_name or Path(args.input).stem,
-            )
+        graph = _load_graph(args.input, args.graph_name)
         if out_format == "snapshot":
             count = storage.save_snapshot(graph, args.output)
         else:
@@ -159,6 +151,62 @@ def run_convert(args: "argparse.Namespace") -> int:
     print(
         f"converted {args.input} ({in_format}) -> {args.output} ({out_format}): "
         f"{count} triples, {graph.store.n_terms} terms, {seconds:.2f}s"
+    )
+    return 0
+
+
+def _load_graph(path: str, name: str | None):
+    """Load a TSV or snapshot graph straight into the columnar backend."""
+    from pathlib import Path
+
+    from repro.kg import storage
+    from repro.kg.columnar import ColumnarGraph
+
+    if _storage_format(path) == "snapshot":
+        return storage.load_snapshot(path, name=name)
+    return ColumnarGraph.from_triples(
+        storage.iter_tsv(path), name=name or Path(path).stem
+    )
+
+
+def run_update(args: "argparse.Namespace") -> int:
+    """The ``update`` subcommand: apply a mutation TSV through the delta path.
+
+    Loads the base graph (TSV or snapshot), overlays a
+    :class:`~repro.kg.delta.LiveGraph` with the requested
+    ``--compact-threshold``, streams the ``+``/``-`` mutations through
+    it, compacts whatever delta remains (the written graph is always a
+    plain columnar store) and saves the result — never a full
+    object-graph rebuild.
+    """
+    import time
+
+    from repro.errors import KnowledgeGraphError
+    from repro.kg import storage
+    from repro.kg.delta import LiveGraph
+
+    if not args.input or not args.updates or not args.output:
+        raise ExperimentError("update requires --input, --updates and --output")
+    out_format = _storage_format(args.output)
+    started = time.perf_counter()
+    try:
+        base = _load_graph(args.input, args.graph_name)
+        live = LiveGraph(base, compact_threshold=args.compact_threshold)
+        counts = live.apply_updates(storage.iter_update_tsv(args.updates))
+        live.compact()
+        result = live.base  # the folded columnar graph, snapshot-ready
+        if out_format == "snapshot":
+            storage.save_snapshot(result, args.output)
+        else:
+            storage.save_tsv(result, args.output)
+    except (KnowledgeGraphError, OSError) as error:
+        raise ExperimentError(f"update failed: {error}") from None
+    seconds = time.perf_counter() - started
+    print(
+        f"applied {counts['adds']} adds / {counts['removes']} removes "
+        f"({counts['absent_removes']} absent) from {args.updates} to {args.input}: "
+        f"{result.size} triples, {live.compactions} compactions, "
+        f"wrote {args.output} ({out_format}), {seconds:.2f}s"
     )
     return 0
 
@@ -269,6 +317,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--graph-name", default=None,
         help="name for the converted graph (default: input stem / stored name)",
     )
+    update = parser.add_argument_group(
+        "update", "options for the 'update' live-mutation subcommand"
+    )
+    update.add_argument(
+        "--updates", default=None, metavar="PATH",
+        help="mutation TSV: '+<TAB>s<TAB>p<TAB>o[<TAB>score]' adds or "
+        "overwrites, '-<TAB>s<TAB>p<TAB>o' removes (applied in order to "
+        "the --input graph, result written to --output)",
+    )
+    update.add_argument(
+        "--compact-threshold", type=int, default=None, metavar="N",
+        help="fold the delta into a fresh columnar base every N pending "
+        "mutations while applying (default: one compaction at the end)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -281,6 +343,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 def _dispatch(args: "argparse.Namespace") -> int:
     if args.experiment == "convert":
         return run_convert(args)
+    if args.experiment == "update":
+        return run_update(args)
     if args.experiment == "workload":
         return run_workload(args)
 

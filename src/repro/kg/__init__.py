@@ -16,10 +16,15 @@ Public surface:
   :class:`~repro.kg.columnar.ColumnarStore` — the read-only
   dictionary-encoded columnar backend (NumPy-backed; imported lazily so
   the object backend stays dependency-free).
-* :mod:`~repro.kg.storage` — scored-TSV / N-triples text formats and the
-  binary ``.npz`` snapshot format (``save_snapshot`` / ``load_snapshot``).
+* :class:`~repro.kg.delta.LiveGraph` / :class:`~repro.kg.delta.GraphUpdate`
+  — the delta-overlay write path over the immutable backends (adds +
+  tombstones, versioned invalidation, LSM-style compaction).
+* :mod:`~repro.kg.storage` — scored-TSV / N-triples text formats, the
+  mutation TSV (``iter_update_tsv``) and the binary ``.npz`` snapshot
+  format (``save_snapshot`` / ``load_snapshot``).
 """
 
+from repro.kg.delta import GraphUpdate, LiveGraph
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.pattern import TriplePattern, Variable, is_variable
 from repro.kg.triple import Triple
@@ -36,7 +41,9 @@ __all__ = [
     "ColumnarGraph",
     "ColumnarPatternIndex",
     "ColumnarStore",
+    "GraphUpdate",
     "KnowledgeGraph",
+    "LiveGraph",
     "Namespace",
     "RDF_TYPE",
     "ShardedGraph",

@@ -27,7 +27,7 @@ format.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import AbstractSet, Iterable, Iterator, Mapping
 
 import numpy as np
 
@@ -87,6 +87,7 @@ class ColumnarStore:
         "_term_ids",
         "_term_rank",
         "_row_index",
+        "_packed_sorted",
     )
 
     def __init__(
@@ -115,6 +116,7 @@ class ColumnarStore:
         self._term_ids: dict[str, int] | None = None
         self._term_rank: np.ndarray | None = None
         self._row_index: dict[tuple[int, int, int], int] | None = None
+        self._packed_sorted: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -307,6 +309,34 @@ class ColumnarStore:
             }
         return self._row_index.get((sid, pid, oid))
 
+    def has_row(self, subject: str, predicate: str, object_: str) -> bool:
+        """Whether a fully-bound triple is present — without a row index.
+
+        Membership probes (the live-update write path checks every
+        mutated key against the base) binary-search a lazily sorted
+        packed-row array: one vectorised sort to build, ``O(log n)`` per
+        probe, no 100k-entry Python dict.  Falls back to :meth:`row_of`
+        for dictionaries too large to pack into int64.
+        """
+        sid, pid, oid = (
+            self.term_id(subject),
+            self.term_id(predicate),
+            self.term_id(object_),
+        )
+        if sid is None or pid is None or oid is None:
+            return False
+        n = self.n_terms
+        if n**3 >= 2**63:
+            return self.row_of(subject, predicate, object_) is not None
+        if self._packed_sorted is None:
+            self._packed_sorted = np.sort(self._packed_rows())
+        packed = (sid * n + pid) * n + oid
+        index = int(np.searchsorted(self._packed_sorted, packed))
+        return (
+            index < len(self._packed_sorted)
+            and int(self._packed_sorted[index]) == packed
+        )
+
     # ------------------------------------------------------------------
     # Vectorised access
     # ------------------------------------------------------------------
@@ -328,6 +358,163 @@ class ColumnarStore:
         if mask is None:
             return np.arange(self.n_triples, dtype=np.int64)
         return np.nonzero(mask)[0]
+
+    def _encode_keys(
+        self, keys: Iterable[tuple[str, str, str]]
+    ) -> list[tuple[int, int, int]]:
+        """Resolve ``(s, p, o)`` string keys to id triples.
+
+        A key with any term absent from the dictionary cannot name a row
+        and is skipped.
+        """
+        encoded: list[tuple[int, int, int]] = []
+        for s, p, o in keys:
+            sid = self.term_id(s)
+            if sid is None:
+                continue
+            pid = self.term_id(p)
+            if pid is None:
+                continue
+            oid = self.term_id(o)
+            if oid is None:
+                continue
+            encoded.append((sid, pid, oid))
+        return encoded
+
+    def pack_keys(
+        self, keys: Iterable[tuple[str, str, str]]
+    ) -> np.ndarray | None:
+        """Packed int64 encodings of the *keys* this dictionary resolves.
+
+        Keys with any unknown term are skipped (they cannot name a row).
+        Returns ``None`` when the dictionary is too large to pack into
+        int64 — callers must fall back to :meth:`exclude_keys` without a
+        precomputed array.  Lets a caller encode a key set once and mask
+        many row sets (e.g. one superseded-key set against every shard
+        sharing this term dictionary).
+        """
+        n = self.n_terms
+        if n**3 >= 2**63:
+            return None
+        encoded = self._encode_keys(keys)
+        return np.fromiter(
+            ((s * n + p) * n + o for s, p, o in encoded),
+            dtype=np.int64,
+            count=len(encoded),
+        )
+
+    def exclude_keys(
+        self,
+        rows: np.ndarray,
+        keys: AbstractSet[tuple[str, str, str]],
+        packed_keys: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """*rows* with every row naming a key in *keys* dropped.
+
+        The tombstone mask of the live-update overlay
+        (:mod:`repro.kg.delta`): vectorised via the same packed-row
+        encoding the uniqueness check uses, so masking a match list's
+        candidate rows costs one ``isin`` — no decoding.  Pass
+        *packed_keys* (from :meth:`pack_keys` against a store sharing
+        this term dictionary) to skip re-encoding *keys* per call.
+        """
+        if len(rows) == 0 or not keys:
+            return rows
+        n = self.n_terms
+        if packed_keys is None and n**3 < 2**63:
+            packed_keys = self.pack_keys(keys)
+        if packed_keys is not None:
+            if len(packed_keys) == 0:
+                return rows
+            packed = (
+                self.subjects[rows].astype(np.int64) * n + self.predicates[rows]
+            ) * n + self.objects[rows]
+            return rows[~np.isin(packed, packed_keys)]
+        encoded = self._encode_keys(keys)
+        if not encoded:
+            return rows
+        drop = set(encoded)
+        keep = [
+            row
+            for row, ids in zip(
+                rows.tolist(),
+                zip(
+                    self.subjects[rows].tolist(),
+                    self.predicates[rows].tolist(),
+                    self.objects[rows].tolist(),
+                ),
+            )
+            if ids not in drop
+        ]
+        return np.asarray(keep, dtype=np.int64)
+
+    def with_updates(
+        self,
+        adds: Mapping[tuple[str, str, str], float],
+        drops: AbstractSet[tuple[str, str, str]] = frozenset(),
+    ) -> "ColumnarStore":
+        """A fresh store with *drops* rows removed and *adds* appended.
+
+        The compaction step of the live-update overlay: base rows named
+        by an add key are dropped too (the add's score wins), mirroring
+        :meth:`KnowledgeGraph.add_triple` overwrite semantics, so the
+        result holds exactly the overlay's merged triple set.  The base
+        side is vectorised (one key-exclusion mask, column slices);
+        only the (small) delta is interned in Python.  New terms extend
+        the dictionary in first-seen order, keeping the store snapshot-
+        compatible.
+        """
+        if not adds and not drops:
+            return self
+        drop_keys = set(drops) | set(adds)
+        keep_rows = self.exclude_keys(
+            np.arange(self.n_triples, dtype=np.int64), drop_keys
+        )
+        term_ids = (
+            dict(self._term_ids)
+            if self._term_ids is not None
+            else {term: i for i, term in enumerate(self.term_list())}
+        )
+        new_terms: list[str] = []
+
+        def intern(term: str) -> int:
+            term_id = term_ids.get(term)
+            if term_id is None:
+                if "\x00" in term:
+                    raise KnowledgeGraphError(
+                        f"term {term!r} contains NUL, unsupported by columnar storage"
+                    )
+                term_id = len(term_ids)
+                term_ids[term] = term_id
+                new_terms.append(term)
+            return term_id
+
+        if adds:
+            ids = np.fromiter(
+                (intern(term) for key in adds for term in key),
+                dtype=np.int64,
+                count=3 * len(adds),
+            ).reshape(-1, 3)
+            add_columns = (ids[:, 0], ids[:, 1], ids[:, 2])
+            add_scores = np.fromiter(adds.values(), dtype=np.float64, count=len(adds))
+        else:
+            add_columns = (np.empty(0, dtype=np.int64),) * 3
+            add_scores = np.empty(0, dtype=np.float64)
+
+        terms = self.terms
+        if new_terms:
+            appended = np.array(new_terms, dtype=str)
+            terms = np.concatenate([terms, appended]) if terms.size else appended
+        columns = [
+            np.concatenate([column[keep_rows], extra.astype(ID_DTYPE)])
+            for column, extra in zip(
+                (self.subjects, self.predicates, self.objects), add_columns
+            )
+        ]
+        scores = np.concatenate([self.scores[keep_rows], add_scores])
+        store = ColumnarStore(terms, *columns, scores)
+        store._term_ids = term_ids
+        return store
 
     def score_order(self, rows: np.ndarray) -> np.ndarray:
         """*rows* reordered by raw score descending, ties by ``(s, p, o)``.
@@ -580,7 +767,7 @@ class ColumnarGraph(KnowledgeGraph):
         if isinstance(item, Triple):
             item = item.spo
         if isinstance(item, tuple) and len(item) == 3:
-            return self._store.row_of(*item) is not None
+            return self._store.has_row(*item)
         return False
 
     def triples(self) -> Iterator[Triple]:

@@ -22,6 +22,7 @@ also precomputes the summary statistics the two-bucket histograms need.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Protocol, Sequence
 
@@ -116,6 +117,39 @@ class MatchList:
             running += value
             sums.append(running)
         return sums
+
+
+def definition5_key(triple: Triple) -> tuple[float, tuple[str, str, str]]:
+    """The global match-list sort key (raw score desc, terms asc)."""
+    return (-triple.score, triple.spo)
+
+
+def merge_match_lists(key: PatternKey, parts: Sequence[MatchList]) -> MatchList:
+    """K-way merge sorted match-list parts into the global Definition-5 list.
+
+    Each part must be sorted by ``(-raw score, spo)`` — which every
+    backend in this package guarantees — and the parts must cover
+    disjoint triple sets (shard slices of one partition, or a filtered
+    base list plus a delta overlay).  The merged list is then bit-for-bit
+    the list an unpartitioned backend builds: same triple order (the sort
+    key is a total order because ``spo`` is unique) and the same
+    normaliser (the global maximum raw score).
+    """
+    nonempty = [part for part in parts if part.triples]
+    if not nonempty:
+        return MatchList(key, (), 0.0, ())
+    if len(nonempty) == 1:
+        part = nonempty[0]
+        return MatchList(key, part.triples, part.max_score, part.normalized_scores)
+    merged = tuple(
+        heapq.merge(*(part.triples for part in nonempty), key=definition5_key)
+    )
+    max_score = merged[0].score
+    if max_score > 0:
+        normalized = tuple(triple.score / max_score for triple in merged)
+    else:
+        normalized = tuple(0.0 for _ in merged)
+    return MatchList(key, merged, max_score, normalized)
 
 
 class PatternIndex:

@@ -36,18 +36,30 @@ ordinary external-cache hook for the merged lists.
 
 from __future__ import annotations
 
-import heapq
 import zlib
-from typing import TYPE_CHECKING, Literal, NamedTuple, Sequence
+from typing import TYPE_CHECKING, Literal, NamedTuple
 
 import numpy as np
 
 from repro.errors import KnowledgeGraphError
 from repro.kg.columnar import ColumnarGraph, ColumnarPatternIndex, ColumnarStore
 from repro.kg.graph import KnowledgeGraph
-from repro.kg.index import MatchList, PatternKey
+from repro.kg.index import MatchList, PatternKey, merge_match_lists
 from repro.kg.pattern import TriplePattern
-from repro.kg.triple import Triple
+
+__all__ = [
+    "DEFAULT_SHARD_CACHE_CAPACITY",
+    "SHARD_STRATEGIES",
+    "ShardLeafInput",
+    "ShardStrategy",
+    "ShardedGraph",
+    "ShardedPatternIndex",
+    "merge_match_lists",
+    "partition_rows",
+    "partition_store",
+    "shard_of_subject",
+    "subject_shard_ids",
+]
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.cache import CacheStats, MatchListCache
@@ -61,9 +73,14 @@ SHARD_STRATEGIES: tuple[str, ...] = ("hash-subject", "score-range")
 DEFAULT_SHARD_CACHE_CAPACITY = 512
 
 
-def _definition5_key(triple: Triple) -> tuple[float, tuple[str, str, str]]:
-    """The global match-list sort key (raw score desc, terms asc)."""
-    return (-triple.score, triple.spo)
+def shard_of_subject(subject: str, n_shards: int) -> int:
+    """The shard owning *subject* under the stable CRC-32 subject hash.
+
+    The single-term twin of :func:`subject_shard_ids`, used to route live
+    writes (:class:`repro.kg.delta.LiveGraph`) to the shard that would
+    hold the triple after a rebuild.
+    """
+    return zlib.crc32(subject.encode("utf-8")) % n_shards
 
 
 def subject_shard_ids(store: ColumnarStore, n_shards: int) -> np.ndarray:
@@ -80,7 +97,7 @@ def subject_shard_ids(store: ColumnarStore, n_shards: int) -> np.ndarray:
     terms = store.term_list()
     per_term = np.zeros(store.n_terms, dtype=np.int64)
     for term_id in np.unique(store.subjects).tolist():
-        per_term[term_id] = zlib.crc32(terms[term_id].encode("utf-8")) % n_shards
+        per_term[term_id] = shard_of_subject(terms[term_id], n_shards)
     return per_term[store.subjects]
 
 
@@ -140,42 +157,18 @@ def partition_store(
     return tuple(shards)
 
 
-def merge_match_lists(key: PatternKey, parts: Sequence[MatchList]) -> MatchList:
-    """K-way merge per-shard match lists into the global Definition-5 list.
-
-    Each part must be sorted by ``(-raw score, spo)`` — which every
-    backend in this package guarantees — and the parts must cover
-    disjoint triple sets (they come from a partition).  The merged list
-    is then bit-for-bit the list an unsharded backend builds: same triple
-    order (the sort key is a total order because ``spo`` is unique) and
-    the same normaliser (the global maximum raw score).
-    """
-    nonempty = [part for part in parts if part.triples]
-    if not nonempty:
-        return MatchList(key, (), 0.0, ())
-    if len(nonempty) == 1:
-        part = nonempty[0]
-        return MatchList(key, part.triples, part.max_score, part.normalized_scores)
-    merged = tuple(
-        heapq.merge(*(part.triples for part in nonempty), key=_definition5_key)
-    )
-    max_score = merged[0].score
-    if max_score > 0:
-        normalized = tuple(triple.score / max_score for triple in merged)
-    else:
-        normalized = tuple(0.0 for _ in merged)
-    return MatchList(key, merged, max_score, normalized)
-
-
 class ShardLeafInput(NamedTuple):
     """What a lazy per-shard leaf scan needs before building anything.
 
     ``match_list`` is the shard's cached list when one already exists
     (so the scan starts warm); otherwise ``n_matches``/``max_score``
-    come from a vectorised peek — no decode, no sort.
+    come from a vectorised peek — no decode, no sort.  ``graph`` is
+    whatever object serves the shard's list on first pull: the shard's
+    :class:`~repro.kg.columnar.ColumnarGraph`, or a live overlay slice
+    (:mod:`repro.kg.delta`) exposing the same ``match_list`` surface.
     """
 
-    graph: ColumnarGraph
+    graph: KnowledgeGraph
     n_matches: int
     max_score: float
     match_list: MatchList | None
@@ -299,7 +292,10 @@ class ShardedGraph(ColumnarGraph):
         inputs: list[ShardLeafInput] = []
         global_max = 0.0
         for shard, cache in zip(self.shards, self.shard_caches):
-            match_list = cache.get(key, shard.version) if key in cache else None
+            # One version-aware lookup per shard: a plain `get` both serves
+            # warm lists and counts the miss, where a version-blind
+            # `__contains__` pre-check would skew the cache statistics.
+            match_list = cache.get(key, shard.version)
             if match_list is not None:
                 n_matches, local_max = len(match_list), match_list.max_score
             else:

@@ -12,6 +12,11 @@ Three formats:
   interoperability with standard RDF tooling; scores default to 1.0 on
   load and are dropped on save.
 
+Plus the **mutation TSV** (:func:`iter_update_tsv`) — ``+``/``-``
+prefixed lines describing adds, overwrites and removes, the feed of the
+live-update overlay (:mod:`repro.kg.delta`) and the ``update`` CLI
+subcommand.
+
 The snapshot helpers import NumPy lazily, so the text formats remain
 dependency-free.
 """
@@ -30,6 +35,7 @@ from repro.kg.triple import Triple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.kg.columnar import ColumnarGraph
+    from repro.kg.delta import GraphUpdate
 
 #: Magic string identifying a snapshot ``.npz`` as ours.
 SNAPSHOT_FORMAT = "spec-qp/kg-snapshot"
@@ -43,6 +49,26 @@ def _open_text(path: str | Path, mode: str) -> TextIO:
     if path.suffix == ".gz":
         return io.TextIOWrapper(gzip.open(path, mode + "b"), encoding="utf-8")
     return open(path, mode, encoding="utf-8")
+
+
+def _parse_score(raw_score: str, path: str | Path, line_no: int) -> float:
+    """Parse a TSV score field, rejecting junk with the offending line.
+
+    ``float()`` happily parses ``'nan'``/``'inf'``/``'-inf'``; a score
+    that is not a finite number poisons every normalised match list
+    downstream, so reject it at the source.
+    """
+    try:
+        score = float(raw_score)
+    except ValueError:
+        raise KnowledgeGraphError(
+            f"{path}:{line_no}: bad score {raw_score!r}"
+        ) from None
+    if not math.isfinite(score):
+        raise KnowledgeGraphError(
+            f"{path}:{line_no}: non-finite score {raw_score!r}"
+        )
+    return score
 
 
 # ----------------------------------------------------------------------
@@ -89,19 +115,7 @@ def iter_tsv(path: str | Path) -> Iterator[Triple]:
                 score = 1.0
             elif len(parts) == 4:
                 s, p, o, raw_score = parts
-                try:
-                    score = float(raw_score)
-                except ValueError:
-                    raise KnowledgeGraphError(
-                        f"{path}:{line_no}: bad score {raw_score!r}"
-                    ) from None
-                if not math.isfinite(score):
-                    # float() happily parses 'nan'/'inf'/'-inf'; a score
-                    # that is not a finite number poisons every normalised
-                    # match list downstream, so reject it at the source.
-                    raise KnowledgeGraphError(
-                        f"{path}:{line_no}: non-finite score {raw_score!r}"
-                    )
+                score = _parse_score(raw_score, path, line_no)
             else:
                 raise KnowledgeGraphError(
                     f"{path}:{line_no}: expected 3 or 4 tab-separated fields, "
@@ -115,6 +129,51 @@ def load_tsv(path: str | Path, name: str | None = None) -> KnowledgeGraph:
     graph = KnowledgeGraph(name=name or Path(path).stem)
     graph.add_triples(iter_tsv(path))
     return graph
+
+
+# ----------------------------------------------------------------------
+# Mutation TSV (the live-update feed)
+# ----------------------------------------------------------------------
+def iter_update_tsv(path: str | Path) -> "Iterator[GraphUpdate]":
+    """Yield graph updates from a mutation TSV, validating as we go.
+
+    One mutation per line: ``+<TAB>s<TAB>p<TAB>o<TAB>score`` adds or
+    overwrites a scored triple (the score field is optional, defaulting
+    to 1.0), ``-<TAB>s<TAB>p<TAB>o`` removes one.  Blank lines and ``#``
+    comments are skipped.  This is the on-disk feed of the ``update``
+    CLI subcommand and of :meth:`repro.kg.delta.LiveGraph.apply_updates`.
+    """
+    from repro.kg.delta import GraphUpdate
+
+    with _open_text(path, "r") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            op = parts[0]
+            if op == "+":
+                if len(parts) == 4:
+                    score = 1.0
+                elif len(parts) == 5:
+                    score = _parse_score(parts[4], path, line_no)
+                else:
+                    raise KnowledgeGraphError(
+                        f"{path}:{line_no}: '+' update expects 4 or 5 "
+                        f"tab-separated fields, got {len(parts)}"
+                    )
+                yield GraphUpdate.add(parts[1], parts[2], parts[3], score)
+            elif op == "-":
+                if len(parts) != 4:
+                    raise KnowledgeGraphError(
+                        f"{path}:{line_no}: '-' update expects 4 "
+                        f"tab-separated fields, got {len(parts)}"
+                    )
+                yield GraphUpdate.remove(parts[1], parts[2], parts[3])
+            else:
+                raise KnowledgeGraphError(
+                    f"{path}:{line_no}: update op must be '+' or '-', got {op!r}"
+                )
 
 
 # ----------------------------------------------------------------------

@@ -322,10 +322,13 @@ def build_leaf_scan(
 
     Plain graphs stream their match list through a
     :class:`~repro.operators.scan.SortedScan`.  Graphs exposing
-    ``shard_leaf_inputs`` (i.e. :class:`~repro.kg.sharding.ShardedGraph`)
-    get a :class:`ShardMerge` over one lazy :class:`ShardScan` per shard,
-    each normalised by the pattern's global maximum score — an exact,
-    lazily materialised replacement for the unsharded scan.
+    ``shard_leaf_inputs`` — :class:`~repro.kg.sharding.ShardedGraph`,
+    and :class:`~repro.kg.delta.LiveGraph` overlays on sharded bases
+    (whose inputs are per-shard *live slices*: the shard's list minus
+    tombstones plus its routed delta adds) — get a :class:`ShardMerge`
+    over one lazy :class:`ShardScan` per shard, each normalised by the
+    pattern's global maximum score — an exact, lazily materialised
+    replacement for the unsharded scan.
 
     Two fast paths keep repeat-heavy (fully warm) workloads free of
     merge overhead, both emitting the identical stream: a pattern whose

@@ -6,7 +6,10 @@ one query; this package serves *batches* through one shared substrate:
 * :class:`MatchListCache` — bounded, thread-safe, version-aware LRU over
   score-sorted match lists, shared by every query of a batch.
 * :class:`WorkloadRunner` — executes batches sequentially or on a thread
-  pool (per-worker engines, shared catalog + cache), warm or cold.
+  pool (per-worker engines, shared catalog + cache), warm or cold, and
+  takes writes between batches (``apply_updates``: delta-overlay
+  mutations behind a reader-writer gate, with version-driven cache and
+  catalog invalidation — see :mod:`repro.kg.delta`).
 * :class:`WorkloadReport` — latency percentiles, queries/second, cache
   hit rates and the PLANGEN plan-decision mix for a batch.
 

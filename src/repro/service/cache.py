@@ -10,7 +10,10 @@ engines of concurrent workers), with hit/miss statistics the
 :class:`MatchListCache` implements the
 :class:`~repro.kg.index.MatchListCacheHook` protocol: every ``get``/``put``
 carries the graph version, so entries built against an older graph simply
-miss and are replaced — no invalidation callback choreography needed.
+miss and are replaced — no invalidation callback choreography needed.  On
+the first ``put`` at a newer version the cache additionally sweeps every
+superseded entry at once (:meth:`MatchListCache.purge_stale`), so a
+version bump reclaims memory eagerly instead of waiting out the LRU.
 All operations are guarded by a lock, making the cache safe to share
 between :class:`~concurrent.futures.ThreadPoolExecutor` workers.
 """
@@ -80,6 +83,7 @@ class MatchListCache:
         self._lock = threading.Lock()
         self._entries: OrderedDict[PatternKey, tuple[int, MatchList]] = OrderedDict()
         self._owner: "weakref.ref[object] | None" = None
+        self._latest_version: int | None = None
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -105,7 +109,27 @@ class MatchListCache:
                         "graph; use one cache per graph"
                     )
                 self._entries.clear()  # old owner is gone, entries are orphans
+                self._latest_version = None
             self._owner = weakref.ref(owner)
+
+    def release(self, owner: object) -> None:
+        """Detach from *owner* so the cache can serve another graph.
+
+        Entries are cleared (they describe the old graph) but counters
+        survive.  A no-op when the cache is bound to a different, still
+        living owner — releasing someone else's binding would reroute
+        their lookups.  Used by
+        :meth:`repro.service.WorkloadRunner.apply_updates` when it wraps
+        the served graph in a live overlay.
+        """
+        with self._lock:
+            if self._owner is None:
+                return
+            previous = self._owner()
+            if previous is None or previous is owner:
+                self._entries.clear()
+                self._latest_version = None
+                self._owner = None
 
     # ------------------------------------------------------------------
     # MatchListCacheHook protocol
@@ -129,11 +153,44 @@ class MatchListCache:
 
     def put(self, key: PatternKey, version: int, match_list: MatchList) -> None:
         with self._lock:
+            if self._latest_version is None or version > self._latest_version:
+                # First put at a newer graph version: eagerly sweep every
+                # entry built against a superseded version instead of
+                # letting them linger until LRU eviction or a stale get.
+                if self._latest_version is not None:
+                    self._purge_stale_locked(version)
+                self._latest_version = version
             self._entries[key] = (version, match_list)
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+
+    def purge_stale(self, current_version: int) -> int:
+        """Eagerly drop every entry not built against *current_version*.
+
+        Counted as invalidations (they are — the graph moved on), same
+        as the lazy per-``get`` drops.  Returns how many entries went.
+        Also called automatically by :meth:`put` on a version bump;
+        explicit calls let a writer (e.g.
+        :meth:`repro.service.WorkloadRunner.apply_updates`) reclaim the
+        memory before any new list is built.
+        """
+        with self._lock:
+            if self._latest_version is None or current_version > self._latest_version:
+                self._latest_version = current_version
+            return self._purge_stale_locked(current_version)
+
+    def _purge_stale_locked(self, current_version: int) -> int:
+        stale = [
+            key
+            for key, (version, _) in self._entries.items()
+            if version != current_version
+        ]
+        for key in stale:
+            del self._entries[key]
+        self._invalidations += len(stale)
+        return len(stale)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

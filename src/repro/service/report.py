@@ -191,6 +191,14 @@ class WorkloadReport:
                 f"{self.extras['plan_cache_hits']} hits, "
                 f"{self.extras['plan_cache_size']} plans"
             )
+        if "updates_applied" in self.extras:
+            lines.append(
+                f"{'live updates':<{width}} "
+                f"{self.extras['updates_applied']} applied in "
+                f"{self.extras['update_batches']} batches, "
+                f"{self.extras['update_compactions']} compactions "
+                f"(graph v{self.extras['graph_version']})"
+            )
         if "shards" in self.extras:
             lines.append(
                 f"{'shards':<{width}} "

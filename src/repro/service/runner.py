@@ -28,12 +28,14 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from typing import Literal, Sequence
+from contextlib import contextmanager
+from typing import Iterable, Literal, Sequence
 
 from repro.core.config import EngineConfig
 from repro.core.engine import QueryResult, SpecQPEngine
 from repro.datasets.workload import Workload
 from repro.errors import ExperimentError
+from repro.kg.delta import GraphUpdate, LiveGraph
 from repro.kg.sharding import ShardedGraph, ShardStrategy
 from repro.query.query import TriplePatternQuery
 from repro.service.cache import DEFAULT_CAPACITY, CacheStats, MatchListCache
@@ -41,6 +43,51 @@ from repro.service.report import QueryOutcome, WorkloadReport
 from repro.stats.catalog import StatisticsCatalog
 
 CacheMode = Literal["warm", "cold"]
+
+
+class _BatchGate:
+    """A writer-preferring reader-writer gate between batches and updates.
+
+    Batches are readers (many at once), :meth:`WorkloadRunner.apply_updates`
+    is the writer: it waits for every in-flight batch to finish on the old
+    graph version, blocks new batches while it mutates, then lets them in
+    on the new version — the epoch-swap discipline that keeps the "graph
+    is static during a batch" serving contract intact under live writes.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writers_waiting = 0
+        self._writing = False
+
+    @contextmanager
+    def reader(self):
+        with self._condition:
+            while self._writing or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._readers -= 1
+                self._condition.notify_all()
+
+    @contextmanager
+    def writer(self):
+        with self._condition:
+            self._writers_waiting += 1
+            while self._readers or self._writing:
+                self._condition.wait()
+            self._writers_waiting -= 1
+            self._writing = True
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._writing = False
+                self._condition.notify_all()
 
 
 class WorkloadRunner:
@@ -78,10 +125,20 @@ class WorkloadRunner:
         ``"hash-subject"`` or ``"score-range"``; ``"score-range"`` is
         the throughput choice for top-k workloads (cold shards are
         rarely materialised).
+    compact_threshold:
+        Passed to the :class:`~repro.kg.delta.LiveGraph` the first
+        :meth:`apply_updates` call wraps the served graph in: the delta
+        auto-compacts into a fresh base once it holds this many pending
+        mutations (``None`` = only explicit compaction).
 
-    The runner assumes the graph is not mutated *during* a batch.  Between
-    batches, mutations are picked up automatically: the match-list cache
-    is version-aware, and the catalog and plan cache are rebuilt when the
+    The runner assumes the graph is not mutated *during* a batch, and
+    :meth:`apply_updates` enforces that: batches and update batches go
+    through a reader-writer gate, so in-flight queries finish on the old
+    graph version before the write lands and the version bump drives
+    every invalidation (match-list cache sweep, plan cache clear,
+    incremental catalog refresh).  External mutations between batches
+    are still picked up automatically: the match-list cache is
+    version-aware, and the catalog and plan cache are rebuilt when the
     graph version they were built against no longer matches.  Sharded
     runners snapshot the graph at construction time, so they serve the
     triples the workload held when the runner was built.
@@ -96,6 +153,7 @@ class WorkloadRunner:
         plan_cache: bool = True,
         shards: int = 1,
         shard_strategy: ShardStrategy = "score-range",
+        compact_threshold: int | None = None,
     ) -> None:
         if n_workers < 1:
             raise ExperimentError(f"n_workers must be >= 1, got {n_workers}")
@@ -117,12 +175,22 @@ class WorkloadRunner:
             self._graph = workload.graph
         self.cache = MatchListCache(cache_capacity)
         self.plan_cache = plan_cache
+        self.compact_threshold = compact_threshold
         self._plans: OrderedDict[object, object] = OrderedDict()
         self._plan_hits = 0
         self._plan_lock = threading.Lock()
         self._catalog: StatisticsCatalog | None = None
         self._catalog_version = -1
         self._local = threading.local()
+        self._gate = _BatchGate()
+        self._updates = {
+            "update_batches": 0,
+            "updates_applied": 0,
+            "update_removes_absent": 0,
+            "update_compactions": 0,
+            "update_cache_purged": 0,
+            "update_seconds": 0.0,
+        }
 
     # ------------------------------------------------------------------
     # Shared substrate
@@ -193,9 +261,14 @@ class WorkloadRunner:
             raise ExperimentError(f"unknown cache mode {mode!r}")
         k = k or self.config.k
 
-        if mode == "cold":
-            return self._run_cold(queries, k)
+        with self._gate.reader():
+            if mode == "cold":
+                return self._run_cold(queries, k)
+            return self._run_warm(queries, k)
 
+    def _run_warm(
+        self, queries: Sequence[TriplePatternQuery], k: int
+    ) -> WorkloadReport:
         warmup_seconds = 0.0
         if self._catalog is None or self._catalog_version != self.graph.version:
             warmup_seconds = self.warm_up(queries)
@@ -219,6 +292,9 @@ class WorkloadRunner:
             "plan_cache_hits": self._plan_hits - plan_hits_before,
             "plan_cache_size": len(self._plans),
         }
+        if self._updates["update_batches"]:
+            extras.update(self.update_stats)
+            extras["graph_version"] = self.graph.version
         if shard_stats_before is not None:
             shard_delta = self._stats_delta(
                 shard_stats_before, self.graph.shard_cache_stats()
@@ -313,6 +389,82 @@ class WorkloadRunner:
             plan=result.plan.describe(),
             top_score=result.answers[0].score if result.answers else 0.0,
         )
+
+    # ------------------------------------------------------------------
+    # Live updates (the write path)
+    # ------------------------------------------------------------------
+    def apply_updates(
+        self,
+        updates: Iterable[GraphUpdate],
+        compact: bool = False,
+    ) -> dict[str, object]:
+        """Apply a batch of mutations to the served graph, coherently.
+
+        Takes the writer side of the batch gate (in-flight query batches
+        finish on the old graph version first), wraps the served graph in
+        a :class:`~repro.kg.delta.LiveGraph` on first use, applies the
+        batch, and drives every invalidation off the resulting version
+        bump: the shared match-list cache is eagerly swept
+        (:meth:`~repro.service.cache.MatchListCache.purge_stale`), the
+        plan cache is cleared, and the statistics catalog is refreshed
+        incrementally (:meth:`~repro.stats.catalog.StatisticsCatalog.refresh`)
+        instead of rebuilt.  Pass ``compact=True`` to fold the delta into
+        a fresh base afterwards (the runner's ``compact_threshold`` also
+        triggers this automatically).
+
+        Returns the per-batch counters; cumulative totals appear in the
+        next :class:`~repro.service.report.WorkloadReport` extras and in
+        :attr:`update_stats`.
+        """
+        batch = list(updates)
+        with self._gate.writer():
+            started = time.perf_counter()
+            if not isinstance(self._graph, LiveGraph):
+                frozen = self._graph
+                # The cache is bound to the frozen graph; hand it to the
+                # live wrapper (its entries describe the superseded view).
+                frozen.detach_match_list_cache()
+                self.cache.release(frozen)
+                self._graph = LiveGraph(
+                    frozen, compact_threshold=self.compact_threshold
+                )
+                self._graph.attach_match_list_cache(self.cache)
+                # Catalog and engines were built over the frozen graph
+                # object; the next batch warms up over the live wrapper.
+                self._catalog = None
+                self._catalog_version = -1
+                self._local = threading.local()
+            live = self._graph
+            compactions_before = live.compactions
+            counts = live.apply_updates(batch)
+            if compact:
+                live.compact()
+            purged = self.cache.purge_stale(live.version)
+            with self._plan_lock:
+                self._plans.clear()
+            if self._catalog is not None:
+                self._catalog.refresh()
+                self._catalog_version = live.version
+            seconds = time.perf_counter() - started
+            result: dict[str, object] = {
+                **counts,
+                "compacted": live.compactions > compactions_before,
+                "cache_purged": purged,
+                "seconds": seconds,
+                "graph_version": live.version,
+            }
+            self._updates["update_batches"] += 1
+            self._updates["updates_applied"] += counts["adds"] + counts["removes"]
+            self._updates["update_removes_absent"] += counts["absent_removes"]
+            self._updates["update_compactions"] = live.compactions
+            self._updates["update_cache_purged"] += purged
+            self._updates["update_seconds"] += seconds
+            return result
+
+    @property
+    def update_stats(self) -> dict[str, object]:
+        """Cumulative live-update counters since the runner was built."""
+        return dict(self._updates)
 
     # ------------------------------------------------------------------
     def compare(

@@ -137,6 +137,46 @@ class StatisticsCatalog:
             self._graph, self.cardinalities.mode
         )
 
+    def refresh(self) -> dict[str, int]:
+        """Incrementally drop only the statistics a live delta invalidated.
+
+        A graph with a delta overlay (:class:`repro.kg.delta.LiveGraph`)
+        journals the triple keys it mutated; refreshing drains that
+        journal and drops exactly the cached pattern entries a mutated
+        key can match — every untouched pattern keeps its stats and
+        histogram, which on a small delta is almost all of them.  The
+        dropped entries rebuild lazily from the live match lists (which
+        themselves reuse the cached immutable base lists), so a refresh
+        never triggers a full recompute.  Join-cardinality caches mix
+        patterns, so they are rebuilt whenever anything was touched.
+
+        Graphs without a delta journal fall back to :meth:`invalidate`.
+        Returns ``{"dropped": ..., "kept": ...}`` over the histogram
+        cache for logging/tests.
+        """
+        drain = getattr(self._graph, "drain_touched", None)
+        touched = drain() if drain is not None else None
+        if touched is None:
+            # No journal, or the journal overflowed: everything may have
+            # changed, so the only safe move is a full invalidation.
+            dropped = len(self._stats.keys() | self._histograms.keys())
+            self.invalidate()
+            return {"dropped": dropped, "kept": 0}
+        dropped = 0
+        if touched:
+            for key in list(self._stats.keys() | self._histograms.keys()):
+                if any(
+                    all(bound is None or bound == term for bound, term in zip(key, spo))
+                    for spo in touched
+                ):
+                    self._stats.pop(key, None)
+                    self._histograms.pop(key, None)
+                    dropped += 1
+            self.cardinalities = JoinCardinalityEstimator(
+                self._graph, self.cardinalities.mode
+            )
+        return {"dropped": dropped, "kept": len(self._histograms)}
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"StatisticsCatalog({self.histogram_kind}, "

@@ -146,3 +146,81 @@ class TestConvert:
         )
         assert code == 2
         assert "convert failed" in capsys.readouterr().err
+
+
+class TestUpdate:
+    @pytest.fixture
+    def tsv_path(self, tmp_path):
+        path = tmp_path / "mini.tsv"
+        path.write_text("a\tp\tb\t2\nc\tp\td\t5\ne\tp\tf\t3\n")
+        return path
+
+    @pytest.fixture
+    def updates_path(self, tmp_path):
+        path = tmp_path / "edits.tsv"
+        path.write_text(
+            "# mutation feed\n"
+            "+\tg\tp\th\t9\n"     # fresh add
+            "+\ta\tp\tb\t7\n"     # score overwrite
+            "-\tc\tp\td\n"        # remove
+            "-\tno\tsuch\trow\n"  # absent remove
+            "+\ti\tp\tj\n"        # score defaults to 1.0
+        )
+        return path
+
+    def test_update_tsv_to_snapshot(self, tsv_path, updates_path, tmp_path, capsys):
+        from repro.kg import storage
+
+        out = tmp_path / "updated.npz"
+        code = main(
+            [
+                "update",
+                "--input", str(tsv_path),
+                "--updates", str(updates_path),
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "3 adds / 1 removes (1 absent)" in printed
+        graph = storage.load_snapshot(out)
+        rows = {t.spo: t.score for t in graph.triples()}
+        assert rows == {
+            ("a", "p", "b"): 7.0,
+            ("e", "p", "f"): 3.0,
+            ("g", "p", "h"): 9.0,
+            ("i", "p", "j"): 1.0,
+        }
+
+    def test_update_with_compact_threshold(self, tsv_path, updates_path, tmp_path, capsys):
+        out = tmp_path / "updated.tsv"
+        code = main(
+            [
+                "update",
+                "--input", str(tsv_path),
+                "--updates", str(updates_path),
+                "--output", str(out),
+                "--compact-threshold", "2",
+            ]
+        )
+        assert code == 0
+        assert "compactions" in capsys.readouterr().out
+        assert len(out.read_text().splitlines()) == 4
+
+    def test_missing_arguments_fail(self, tsv_path, capsys):
+        assert main(["update", "--input", str(tsv_path)]) == 2
+        assert "requires --input, --updates and --output" in capsys.readouterr().err
+
+    def test_bad_update_line_fails_cleanly(self, tsv_path, tmp_path, capsys):
+        bad = tmp_path / "bad.tsv"
+        bad.write_text("*\ta\tp\tb\n")
+        code = main(
+            [
+                "update",
+                "--input", str(tsv_path),
+                "--updates", str(bad),
+                "--output", str(tmp_path / "o.npz"),
+            ]
+        )
+        assert code == 2
+        assert "update op" in capsys.readouterr().err

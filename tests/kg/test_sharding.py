@@ -221,6 +221,24 @@ class TestShardedGraph:
         graph.invalidate_caches()
         assert graph.shard_cache_stats().size == 0
 
+    def test_shard_leaf_inputs_lookup_stats_are_exact(self):
+        """The leaf-input probe is one version-aware `get` per shard — a
+        cold probe counts one miss per shard and a warm one one hit, with
+        no version-blind `__contains__` pre-check skewing the numbers."""
+        graph = ShardedGraph(small_store(), 3, strategy="score-range")
+        pattern = TriplePattern(VAR_S, "p", VAR_O)
+
+        graph.shard_leaf_inputs(pattern)
+        cold = graph.shard_cache_stats()
+        assert cold.misses == graph.n_shards
+        assert cold.hits == 0
+
+        graph.match_list(pattern)  # builds every shard list through the caches
+        graph.shard_leaf_inputs(pattern)
+        warm = graph.shard_cache_stats()
+        assert warm.hits == graph.n_shards
+        assert warm.misses == 2 * graph.n_shards  # cold probe + the builds
+
     def test_single_shard_degenerates(self):
         store = small_store()
         graph = ShardedGraph(store, 1)

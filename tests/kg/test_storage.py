@@ -225,3 +225,49 @@ class TestSnapshotSaveValidation:
         path = tmp_path / "kg.tsv"
         assert storage.save_tsv(graph, path) == 3
         assert storage.load_tsv(path).size == 3
+
+
+class TestUpdateTSV:
+    def write(self, tmp_path, text):
+        path = tmp_path / "edits.tsv"
+        path.write_text(text)
+        return path
+
+    def test_iter_update_tsv_parses_ops(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            "# comment\n\n+\ts\tp\to\t2.5\n-\ts\tp\to\n+\tx\ty\tz\n",
+        )
+        updates = list(storage.iter_update_tsv(path))
+        assert [u.op for u in updates] == ["+", "-", "+"]
+        assert updates[0].triple().score == 2.5
+        assert updates[1].spo == ("s", "p", "o")
+        assert updates[2].score == 1.0  # optional score defaults
+
+    def test_gzip_round_trip(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "edits.tsv.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("+\ts\tp\to\t3\n")
+        (update,) = storage.iter_update_tsv(path)
+        assert update.spo == ("s", "p", "o")
+        assert update.triple().score == 3.0
+
+    @pytest.mark.parametrize(
+        "line, message",
+        [
+            ("*\ts\tp\to", "update op"),
+            ("+\ts\tp", "4 or 5"),
+            ("+\ts\tp\to\tbad", "bad score"),
+            ("+\ts\tp\to\tinf", "non-finite"),
+            ("-\ts\tp\to\textra", "4 tab-separated"),
+            ("-\ts\tp", "4 tab-separated"),
+        ],
+    )
+    def test_malformed_lines_rejected_with_line_number(self, tmp_path, line, message):
+        path = self.write(tmp_path, f"+\tok\tok\tok\n{line}\n")
+        with pytest.raises(KnowledgeGraphError) as excinfo:
+            list(storage.iter_update_tsv(path))
+        assert message in str(excinfo.value)
+        assert ":2:" in str(excinfo.value)

@@ -138,6 +138,77 @@ def test_invalidate_caches_clears_attached_external_cache(music_graph):
     assert cache.stats().hits == 0  # rebuilt, not served stale
 
 
+def test_version_bump_put_sweeps_stale_entries(music_graph):
+    """The first put at a newer graph version purges every superseded
+    entry at once instead of leaving them to LRU eviction."""
+    cache = MatchListCache(capacity=8)
+    music_graph.attach_match_list_cache(cache)
+
+    music_graph.match_list(pattern("singer"))
+    music_graph.match_list(pattern("lyricist"))
+    assert len(cache) == 2
+
+    music_graph.add("newcomer", "rdf:type", "writer", score=5.0)
+    # One rebuild at the new version: the other old entry must go too.
+    music_graph.match_list(pattern("writer"))
+    assert len(cache) == 1
+    stats = cache.stats()
+    assert stats.invalidations == 2  # both stale entries swept eagerly
+    assert pattern("singer").key() not in cache
+    assert pattern("lyricist").key() not in cache
+
+
+def test_purge_stale_explicit(music_graph):
+    cache = MatchListCache(capacity=8)
+    music_graph.attach_match_list_cache(cache)
+    music_graph.match_list(pattern("singer"))
+    music_graph.match_list(pattern("writer"))
+
+    assert cache.purge_stale(music_graph.version) == 0  # all current
+    music_graph.add("newcomer", "rdf:type", "writer", score=5.0)
+    purged = cache.purge_stale(music_graph.version)
+    assert purged == 2
+    assert len(cache) == 0
+    assert cache.stats().invalidations == 2
+    # Rebuilds repopulate at the current version.
+    music_graph.match_list(pattern("singer"))
+    assert len(cache) == 1
+    # An out-of-order put at a superseded version (an in-flight old query
+    # finishing late) inserts without purging the newer entries back.
+    stale_list = music_graph.match_list(pattern("writer"))
+    cache.put(pattern("writer").key(), music_graph.version - 1, stale_list)
+    assert len(cache) == 2
+    assert pattern("singer").key() in cache
+
+
+def test_release_allows_rebinding(music_graph):
+    from repro.errors import KnowledgeGraphError
+
+    cache = MatchListCache(capacity=8)
+    music_graph.attach_match_list_cache(cache)
+    music_graph.match_list(pattern("singer"))
+    music_graph.detach_match_list_cache()
+
+    other = KnowledgeGraph(name="other")
+    other.add("bob", "rdf:type", "singer", score=1.0)
+    with pytest.raises(KnowledgeGraphError):
+        other.attach_match_list_cache(cache)  # still bound
+
+    cache.release(music_graph)
+    assert len(cache) == 0  # old graph's entries went with the binding
+    other.attach_match_list_cache(cache)
+    assert other.match_list(pattern("singer")).triples[0].subject == "bob"
+
+
+def test_release_ignores_non_owner(music_graph):
+    cache = MatchListCache(capacity=8)
+    music_graph.attach_match_list_cache(cache)
+    music_graph.match_list(pattern("singer"))
+    cache.release(object())  # not the owner: binding and entries survive
+    assert len(cache) == 1
+    assert music_graph.match_list_cache is cache
+
+
 def test_reset_stats_keeps_entries(music_graph):
     cache = MatchListCache(capacity=8)
     music_graph.attach_match_list_cache(cache)

@@ -130,3 +130,180 @@ def test_stretched_and_batches(tiny_xkg_workload):
         tiny_xkg_workload.stretched(0)
     with pytest.raises(DatasetError):
         next(tiny_xkg_workload.iter_batches(0))
+
+
+# ----------------------------------------------------------------------
+# Live updates (apply_updates)
+# ----------------------------------------------------------------------
+def music_workload(music_graph, music_rules):
+    from repro.datasets.workload import Workload
+    from repro.kg.pattern import TriplePattern, Variable
+    from repro.query.query import TriplePatternQuery
+
+    s = Variable("s")
+    queries = [
+        TriplePatternQuery((TriplePattern(s, "rdf:type", "singer"),), name="singers"),
+        TriplePatternQuery((TriplePattern(s, "rdf:type", "writer"),), name="writers"),
+    ]
+    return Workload("music", music_graph, music_rules, queries)
+
+
+def test_apply_updates_wraps_serves_and_invalidates(music_graph, music_rules):
+    from repro.kg import GraphUpdate, LiveGraph
+
+    runner = WorkloadRunner(music_workload(music_graph, music_rules))
+    before = runner.run(k=3)
+    assert before.outcomes[0].n_answers == 3
+
+    result = runner.apply_updates(
+        [
+            GraphUpdate.add("megastar", "rdf:type", "singer", 1000.0),
+            GraphUpdate.remove("taher", "rdf:type", "singer"),
+            GraphUpdate.remove("nobody", "rdf:type", "singer"),
+        ]
+    )
+    assert isinstance(runner.graph, LiveGraph)
+    assert result["adds"] == 1 and result["removes"] == 1
+    assert result["absent_removes"] == 1
+    # First update wraps the graph: the frozen graph's entries go with the
+    # released binding, so there is nothing left to purge.
+    assert result["cache_purged"] == 0 and len(runner.cache) == 0
+
+    after = runner.run(k=3)
+    top = after.outcomes[0]
+    assert top.top_score == pytest.approx(1.0)  # megastar normalises to 1
+    assert "updates_applied" in after.extras
+    assert after.extras["updates_applied"] == 2
+    assert after.extras["graph_version"] == runner.graph.version
+    assert "live updates" in after.render()
+    # The workload's original graph object was never mutated.
+    assert ("megastar", "rdf:type", "singer") not in music_graph
+
+    # Subsequent updates purge the entries the last batch populated.
+    result2 = runner.apply_updates(
+        [GraphUpdate.add("anotherstar", "rdf:type", "singer", 2000.0)]
+    )
+    assert result2["cache_purged"] >= 1
+
+
+def test_apply_updates_answers_match_fresh_runner(music_graph, music_rules):
+    """Served answers after updates equal a runner built over the final
+    graph — the service-level mutation-equivalence check."""
+    from repro.kg import GraphUpdate
+
+    updates = [
+        GraphUpdate.add("megastar", "rdf:type", "singer", 500.0),
+        GraphUpdate.add("dylan", "rdf:type", "writer", 1.0),  # overwrite
+        GraphUpdate.remove("beyonce", "rdf:type", "singer"),
+    ]
+    runner = WorkloadRunner(music_workload(music_graph, music_rules))
+    runner.run(k=4)
+    runner.apply_updates(updates)
+    live_report = runner.run(k=4)
+
+    fresh_graph = music_graph.__class__(music_graph.triples(), name="fresh")
+    for update in updates:
+        if update.op == "+":
+            fresh_graph.add_triple(update.triple())
+        else:
+            fresh_graph.remove(*update.spo)
+    fresh = WorkloadRunner(music_workload(fresh_graph, music_rules))
+    fresh_report = fresh.run(k=4)
+
+    assert outcome_signature(live_report) == outcome_signature(fresh_report)
+
+
+def test_apply_updates_sharded_runner(tiny_xkg_workload):
+    from repro.kg import GraphUpdate
+
+    runner = WorkloadRunner(tiny_xkg_workload, shards=4)
+    queries = tiny_xkg_workload.queries[:6]
+    before = runner.run(queries, k=5)
+    runner.apply_updates(
+        [GraphUpdate.add(f"fresh{i}", "rdf:type", "topic", float(i + 1)) for i in range(8)]
+    )
+    after = runner.run(queries, k=5)
+    assert outcome_signature(after) == outcome_signature(before)  # untouched patterns
+    assert ("fresh3", "rdf:type", "topic") in runner.graph
+
+    compacted = runner.apply_updates(
+        [GraphUpdate.add("fresh99", "rdf:type", "topic", 9.0)], compact=True
+    )
+    assert compacted["compacted"] is True
+    assert runner.graph.delta_size == 0
+    again = runner.run(queries, k=5)
+    assert outcome_signature(again) == outcome_signature(before)
+    assert runner.update_stats["update_batches"] == 2
+    assert runner.update_stats["update_compactions"] == 1
+
+
+def test_apply_updates_auto_compacts_at_threshold(music_graph, music_rules):
+    from repro.kg import GraphUpdate
+
+    runner = WorkloadRunner(
+        music_workload(music_graph, music_rules), compact_threshold=3
+    )
+    result = runner.apply_updates(
+        [GraphUpdate.add(f"n{i}", "rdf:type", "singer", float(i + 1)) for i in range(4)]
+    )
+    assert result["compacted"] is True
+    # The threshold is enforced per update, so only the post-compaction
+    # residue (here the 4th add) may remain pending.
+    assert runner.graph.delta_size < 3
+
+
+def test_apply_updates_refreshes_catalog_incrementally(music_graph, music_rules):
+    from repro.kg import GraphUpdate
+
+    runner = WorkloadRunner(music_workload(music_graph, music_rules))
+    runner.run(k=3)
+    # First update wraps the graph: the catalog rebuilds over the wrapper.
+    runner.apply_updates([GraphUpdate.add("a", "rdf:type", "singer", 2.0)])
+    runner.run(k=3)
+    catalog = runner.catalog
+    # Later updates keep the catalog object, refreshed in place.
+    runner.apply_updates([GraphUpdate.add("b", "rdf:type", "singer", 3.0)])
+    report = runner.run(k=3)
+    assert runner.catalog is catalog
+    assert report.warmup_seconds == 0.0  # no full rebuild
+
+
+def test_apply_updates_waits_for_inflight_batches(music_graph, music_rules):
+    """The batch gate: a writer blocks until running batches drain, and
+    batches queued behind the writer see the new version."""
+    import threading
+
+    from repro.kg import GraphUpdate
+
+    runner = WorkloadRunner(music_workload(music_graph, music_rules))
+    runner.run(k=2)  # warm up outside the race
+
+    in_batch = threading.Event()
+    release_batch = threading.Event()
+    original_execute = runner._execute_warm
+
+    def slow_execute(query, k):
+        in_batch.set()
+        release_batch.wait(timeout=5)
+        return original_execute(query, k)
+
+    runner._execute_warm = slow_execute
+    batch_thread = threading.Thread(target=lambda: runner.run(k=2))
+    batch_thread.start()
+    assert in_batch.wait(timeout=5)
+
+    applied = threading.Event()
+    update_thread = threading.Thread(
+        target=lambda: (
+            runner.apply_updates([GraphUpdate.add("x", "rdf:type", "singer", 1.0)]),
+            applied.set(),
+        )
+    )
+    update_thread.start()
+    # The writer must wait for the in-flight batch.
+    assert not applied.wait(timeout=0.2)
+    release_batch.set()
+    assert applied.wait(timeout=5)
+    batch_thread.join(timeout=5)
+    update_thread.join(timeout=5)
+    assert ("x", "rdf:type", "singer") in runner.graph
