@@ -1,7 +1,7 @@
 # Spec-QP reproduction — common entry points.
 #
 #   make test    tier-1 verification (unit + property + integration + benchmarks)
-#   make bench   benchmark suite only, with timing tables
+#   make bench   benchmark suite with timing tables + the BENCH_PR5.json baseline
 #   make cov     tests with line coverage + the CI floor (needs pytest-cov)
 #   make docs    docs link + snippet import check, run every runnable doc surface
 #   make workload  demo the batch-serving layer (cold vs warm)
@@ -12,6 +12,9 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 #: Coverage floor enforced by `make cov` and the CI coverage job.
 COV_FAIL_UNDER ?= 80
 
+#: Where `make bench` persists the machine-readable perf baseline.
+BENCH_JSON ?= BENCH_PR5.json
+
 .PHONY: test bench cov docs workload
 
 test:
@@ -19,6 +22,7 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q --benchmark-enable
+	$(PYTHON) scripts/bench_summary.py --output $(BENCH_JSON)
 
 cov:
 	$(PYTHON) -m pytest tests -q --cov=repro \

@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""Run the perf benchmark matrix and persist a machine-readable baseline.
+
+``make bench`` invokes this after the pytest benchmark suite to write
+``BENCH_PR5.json``: warm serving throughput (qps, latency percentiles)
+for every executor × shard-count × cache-capacity combination on the
+diverse medium-profile workload, plus the headline speed-up ratios.
+Future PRs diff their numbers against this file instead of re-deriving
+the baseline from prose in old commit messages.
+
+The matrix is the block-executor benchmark's setting
+(``benchmarks/test_block_executor.py``): bounded cache = the diverse
+serving shape where list (re)builds are hot; full cache = the
+steady-state shape where everything is already sorted.  Equivalence
+across executors is asserted here too — a baseline produced by two
+engines that disagree would be meaningless.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_summary.py --output BENCH_PR5.json
+    PYTHONPATH=src python scripts/bench_summary.py --profile smoke  # quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.datasets import generate_scaled_graph  # noqa: E402
+from repro.datasets.workload import Workload  # noqa: E402
+from repro.kg.pattern import TriplePattern, Variable  # noqa: E402
+from repro.query.query import TriplePatternQuery  # noqa: E402
+from repro.relax.rules import RuleSet  # noqa: E402
+from repro.service import WorkloadRunner  # noqa: E402
+
+SEED = 7
+K = 10
+BOUNDED_CACHE = 8
+FULL_CACHE = 2048
+
+
+def diverse_queries() -> list[TriplePatternQuery]:
+    """The block-executor benchmark's traffic: opens, lookups, chains."""
+    s, o, t = Variable("s"), Variable("o"), Variable("t")
+    queries = [
+        TriplePatternQuery((TriplePattern(s, f"p{i:03d}", o),), name=f"pred-{i}")
+        for i in range(32)
+    ]
+    queries += [
+        TriplePatternQuery(
+            (TriplePattern(s, f"p{i:03d}", f"e{j:05d}"),), name=f"obj-{i}-{j}"
+        )
+        for i, j in [(0, 0), (1, 1), (2, 0), (0, 2), (3, 1), (1, 0), (2, 2), (4, 0)]
+    ]
+    queries += [
+        TriplePatternQuery(
+            (TriplePattern(s, f"p{i:03d}", o), TriplePattern(o, f"p{i + 1:03d}", t)),
+            name=f"chain-{i}",
+        )
+        for i in (0, 5, 9)
+    ]
+    return queries
+
+
+def run_matrix(profile: str, batch_size: int) -> dict:
+    graph = generate_scaled_graph(profile, seed=SEED)
+    workload = Workload(f"bench-{profile}", graph, RuleSet(), diverse_queries())
+    batch = workload.stretched(batch_size)
+
+    runs: list[dict] = []
+    outcomes_by_key: dict[tuple, list] = {}
+    for shards in (1, 4):
+        for cache_capacity in (BOUNDED_CACHE, FULL_CACHE):
+            for executor in ("tuple", "block"):
+                runner = WorkloadRunner(
+                    workload,
+                    cache_capacity=cache_capacity,
+                    shards=shards,
+                    shard_strategy="score-range",
+                    executor=executor,
+                )
+                report = runner.run(batch, k=K, mode="warm")
+                runs.append(
+                    {
+                        "executor": executor,
+                        "shards": shards,
+                        "cache_capacity": cache_capacity,
+                        "qps": round(report.queries_per_second, 1),
+                        "mean_ms": round(report.mean_latency * 1e3, 3),
+                        "p50_ms": round(report.latency_percentile(50) * 1e3, 3),
+                        "p99_ms": round(report.latency_percentile(99) * 1e3, 3),
+                        "wall_s": round(report.wall_seconds, 3),
+                        "warmup_s": round(report.warmup_seconds, 3),
+                    }
+                )
+                outcomes_by_key[(shards, cache_capacity, executor)] = [
+                    (o.n_answers, o.top_score) for o in report.outcomes
+                ]
+                print(
+                    f"shards={shards} cache={cache_capacity:<4d} "
+                    f"executor={executor:<5s} "
+                    f"{report.queries_per_second:9.1f} qps  "
+                    f"p50 {report.latency_percentile(50) * 1e3:7.3f} ms  "
+                    f"p99 {report.latency_percentile(99) * 1e3:7.3f} ms"
+                )
+
+    # Executors must agree before the numbers mean anything.
+    for shards in (1, 4):
+        for cache_capacity in (BOUNDED_CACHE, FULL_CACHE):
+            tuple_rows = outcomes_by_key[(shards, cache_capacity, "tuple")]
+            block_rows = outcomes_by_key[(shards, cache_capacity, "block")]
+            if tuple_rows != block_rows:
+                raise SystemExit(
+                    f"executor outcomes diverge at shards={shards}, "
+                    f"cache={cache_capacity} — baseline aborted"
+                )
+
+    def qps(shards: int, cache_capacity: int, executor: str) -> float:
+        for run in runs:
+            if (
+                run["shards"] == shards
+                and run["cache_capacity"] == cache_capacity
+                and run["executor"] == executor
+            ):
+                return run["qps"]
+        raise KeyError((shards, cache_capacity, executor))
+
+    speedups = {
+        "block_over_tuple_1shard_bounded_cache": round(
+            qps(1, BOUNDED_CACHE, "block") / qps(1, BOUNDED_CACHE, "tuple"), 2
+        ),
+        "block_over_tuple_4shard_bounded_cache": round(
+            qps(4, BOUNDED_CACHE, "block") / qps(4, BOUNDED_CACHE, "tuple"), 2
+        ),
+        "block_over_tuple_1shard_full_cache": round(
+            qps(1, FULL_CACHE, "block") / qps(1, FULL_CACHE, "tuple"), 2
+        ),
+        "sharded4_over_1shard_tuple_bounded_cache": round(
+            qps(4, BOUNDED_CACHE, "tuple") / qps(1, BOUNDED_CACHE, "tuple"), 2
+        ),
+        "sharded4_over_1shard_block_bounded_cache": round(
+            qps(4, BOUNDED_CACHE, "block") / qps(1, BOUNDED_CACHE, "block"), 2
+        ),
+    }
+    return {
+        "bench": "PR5 vectorized block-at-a-time execution engine",
+        "profile": profile,
+        "seed": SEED,
+        "k": K,
+        "batch": batch_size,
+        "n_triples": graph.size,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "runs": runs,
+        "speedups": speedups,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_PR5.json"), metavar="PATH"
+    )
+    parser.add_argument(
+        "--profile", default="medium", choices=("smoke", "medium", "million")
+    )
+    parser.add_argument("--batch", type=int, default=120)
+    args = parser.parse_args(argv)
+
+    summary = run_matrix(args.profile, args.batch)
+    output = Path(args.output)
+    output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {output} ({output.stat().st_size} bytes)")
+    for name, value in summary["speedups"].items():
+        print(f"  {name}: {value}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

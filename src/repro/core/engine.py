@@ -17,12 +17,13 @@ from dataclasses import dataclass
 
 from repro.core.config import EngineConfig
 from repro.core.estimator import ExpectedScoreEstimator
-from repro.core.executor import ExecutionResult, PlanExecutor
+from repro.core.executor import ExecutionResult, ExecutorKind, PlanExecutor
 from repro.core.plan import QueryPlan
 from repro.core.planner import PlannerDecision, SpecQPPlanner
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.index import MatchListCacheHook
 from repro.kg.sharding import ShardedGraph, ShardStrategy
+from repro.operators.block import EncodedListStore
 from repro.query.answer import Answer
 from repro.query.query import TriplePatternQuery
 from repro.query.sparql import parse_sparql
@@ -99,6 +100,24 @@ class SpecQPEngine:
     shard_strategy:
         ``"hash-subject"`` or ``"score-range"`` (only read when *shards*
         triggers partitioning).
+    executor:
+        ``"tuple"`` (the paper's pull-based object pipeline, default) or
+        ``"block"`` — the vectorized block-at-a-time engine that
+        exchanges batches of dictionary-encoded id arrays and decodes
+        only at the top-k sink.  Answers and scores are byte-identical;
+        the block engine is the warm-throughput choice on columnar,
+        sharded and live backends, and silently falls back to the tuple
+        pipeline where it cannot run (object-graph backend, chain
+        relaxations).  See :mod:`repro.operators.block`.
+    encoded_cache_capacity:
+        Entry bound of the block executor's encoded match-list store
+        (``None`` = the executor default).  The service layer passes its
+        match-list cache capacity so both executors hold comparable
+        list budgets.
+    encoded_store:
+        Optionally share one :class:`~repro.operators.block.EncodedListStore`
+        across engines (the block twin of *match_list_cache*); overrides
+        *encoded_cache_capacity*.
     """
 
     def __init__(
@@ -111,6 +130,9 @@ class SpecQPEngine:
         match_list_cache: MatchListCacheHook | None = None,
         shards: int | None = None,
         shard_strategy: ShardStrategy = "hash-subject",
+        executor: ExecutorKind = "tuple",
+        encoded_cache_capacity: int | None = None,
+        encoded_store: "EncodedListStore | None" = None,
     ) -> None:
         self.config = config or EngineConfig()
         if shards is not None and shards > 1 and not isinstance(graph, ShardedGraph):
@@ -140,12 +162,24 @@ class SpecQPEngine:
             relax_all_when_insufficient=self.config.relax_all_when_insufficient,
         )
         self.chain_rules = chain_rules
+        executor_kwargs: dict[str, object] = {}
+        if encoded_cache_capacity is not None:
+            executor_kwargs["encoded_cache_capacity"] = encoded_cache_capacity
+        if encoded_store is not None:
+            executor_kwargs["encoded_store"] = encoded_store
         self.executor = PlanExecutor(
             graph,
             rules,
             self.config.max_relaxations_per_pattern,
             chain_rules=chain_rules,
+            executor=executor,
+            **executor_kwargs,  # type: ignore[arg-type]
         )
+
+    @property
+    def executor_kind(self) -> ExecutorKind:
+        """The configured execution strategy (``"tuple"`` or ``"block"``)."""
+        return self.executor.executor
 
     # ------------------------------------------------------------------
     def parse(self, text: str) -> TriplePatternQuery:

@@ -3,20 +3,53 @@
 The executor materialises a plan's operator tree and drains it through a
 dedup Top-K sink, recording wall-clock time, the answer-object count (the
 paper's memory metric), and operator pull statistics.
+
+Two interchangeable execution strategies produce byte-identical answers:
+
+``"tuple"``
+    The paper's pipeline: pull-based operators exchanging one
+    :class:`~repro.query.answer.PartialAnswer` per call.
+
+``"block"``
+    The vectorized pipeline (:mod:`repro.operators.block`): operators
+    exchange score-sorted blocks of dictionary-encoded id arrays and
+    decode to strings only at the top-k sink.  Available whenever the
+    graph is backed by encoded columns — columnar, sharded, or a live
+    overlay over either — and no chain relaxations are configured; other
+    configurations silently fall back to the tuple pipeline (the
+    object-graph backend has no id columns to slice).
+
+For the block path the executor reads encoded match lists (and the term
+codec) from an :class:`~repro.operators.block.EncodedListStore` — a
+private one by default, or a shared one injected by the service layer so
+every worker engine of a batch encodes each pattern at most once.  The
+store is version- and store-identity-aware, so stale ids can never leak
+across mutations or compactions.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Literal
 
 from repro.core.plan import QueryPlan
+from repro.errors import ExecutionError
 from repro.kg.graph import KnowledgeGraph
+from repro.operators.block import BlockTopK, EncodedListStore
 from repro.operators.memory import ExecutionContext
 from repro.operators.topk import TopK
 from repro.query.answer import Answer
 from repro.relax.chains import ChainRuleSet
 from repro.relax.rules import RuleSet
+
+#: The two execution strategies.
+ExecutorKind = Literal["tuple", "block"]
+
+EXECUTOR_KINDS: tuple[str, ...] = ("tuple", "block")
+
+#: Entry bound of the per-executor encoded match-list cache.
+DEFAULT_ENCODED_CACHE_CAPACITY = 512
 
 
 @dataclass(frozen=True)
@@ -35,6 +68,20 @@ class ExecutionResult:
         return tuple(answer.score for answer in self.answers)
 
 
+def supports_block_execution(graph: KnowledgeGraph) -> bool:
+    """Whether the block pipeline can run over *graph*.
+
+    True for every backend with encoded columns in reach — columnar,
+    sharded, and live overlays (even over an object base: the codec then
+    interns every term into its side table).  False only for the plain
+    object graph, which the block planner has nothing to slice from.
+    """
+    return (
+        getattr(graph, "store", None) is not None
+        or getattr(graph, "base", None) is not None
+    )
+
+
 class PlanExecutor:
     """Executes :class:`~repro.core.plan.QueryPlan` objects to top-k."""
 
@@ -44,14 +91,47 @@ class PlanExecutor:
         rules: RuleSet,
         max_relaxations_per_pattern: int | None = None,
         chain_rules: ChainRuleSet | None = None,
+        executor: ExecutorKind = "tuple",
+        encoded_cache_capacity: int = DEFAULT_ENCODED_CACHE_CAPACITY,
+        encoded_store: EncodedListStore | None = None,
     ) -> None:
+        if executor not in EXECUTOR_KINDS:
+            raise ExecutionError(
+                f"unknown executor {executor!r}; choose from {EXECUTOR_KINDS}"
+            )
+        if encoded_cache_capacity < 1:
+            raise ExecutionError(
+                f"encoded cache capacity must be >= 1, got {encoded_cache_capacity}"
+            )
         self._graph = graph
         self._rules = rules
         self._max_relaxations = max_relaxations_per_pattern
         self._chain_rules = chain_rules
+        self._executor: ExecutorKind = executor
+        self._encoded_store = encoded_store or EncodedListStore(
+            encoded_cache_capacity
+        )
+
+    @property
+    def executor(self) -> ExecutorKind:
+        return self._executor
+
+    def uses_block_path(self) -> bool:
+        """Whether :meth:`execute` will take the vectorized pipeline."""
+        return (
+            self._executor == "block"
+            and self._chain_rules is None
+            and supports_block_execution(self._graph)
+        )
 
     def execute(self, plan: QueryPlan, k: int) -> ExecutionResult:
         """Run *plan*, returning the top-k distinct answers by score."""
+        if self.uses_block_path():
+            return self._execute_block(plan, k)
+        return self._execute_tuple(plan, k)
+
+    # ------------------------------------------------------------------
+    def _execute_tuple(self, plan: QueryPlan, k: int) -> ExecutionResult:
         context = ExecutionContext()
         started = time.perf_counter()
         tree = plan.build_operator_tree(
@@ -63,6 +143,27 @@ class PlanExecutor:
         )
         projection = tuple(v.name for v in plan.query.projection)
         answers = TopK(tree, k, projection).run()
+        return self._result(answers, context, started)
+
+    def _execute_block(self, plan: QueryPlan, k: int) -> ExecutionResult:
+        context = ExecutionContext()
+        started = time.perf_counter()
+        codec = self._encoded_store.codec(self._graph)
+        tree = plan.build_block_operator_tree(
+            self._graph,
+            self._rules,
+            context,
+            codec,
+            max_relaxations_per_pattern=self._max_relaxations,
+            encoded_lists=self._encoded_list,
+        )
+        projection = tuple(v.name for v in plan.query.projection)
+        answers = BlockTopK(tree, k, codec, projection).run()
+        return self._result(answers, context, started)
+
+    def _result(
+        self, answers: list[Answer], context: ExecutionContext, started: float
+    ) -> ExecutionResult:
         elapsed = time.perf_counter() - started
         return ExecutionResult(
             answers=tuple(answers),
@@ -72,3 +173,20 @@ class PlanExecutor:
             joins_attempted=context.joins_attempted,
             joins_matched=context.joins_matched,
         )
+
+    # ------------------------------------------------------------------
+    # Encoded match-list store (block path only)
+    # ------------------------------------------------------------------
+    @property
+    def encoded_store(self) -> EncodedListStore:
+        """The encoded match-list store serving the block path."""
+        return self._encoded_store
+
+    def _encoded_list(self, pattern):
+        return self._encoded_store.get_or_build(self._graph, pattern)
+
+    def encoded_cache_stats(self) -> dict[str, int]:
+        """Diagnostics from the encoded match-list store."""
+        stats = self._encoded_store.stats()
+        stats["encoded_lists"] = stats["size"]
+        return stats

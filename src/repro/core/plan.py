@@ -18,15 +18,26 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Callable
+
 from repro.errors import PlanError
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.pattern import TriplePattern
 from repro.operators.base import Operator
+from repro.operators.block import (
+    DEFAULT_BLOCK_SIZE,
+    BlockOperator,
+    EncodedMatchList,
+    TermCodec,
+    build_encoded_match_list,
+)
 from repro.operators.chain_scan import ChainScan
 from repro.operators.incremental_merge import IncrementalMerge, WeightedInput
 from repro.operators.memory import ExecutionContext
 from repro.operators.rank_join import RankJoin
 from repro.operators.shard_merge import build_leaf_scan
+from repro.operators.vector_join import VectorRankJoin
+from repro.operators.vector_scan import VectorIncrementalMerge, VectorScan
 from repro.query.query import TriplePatternQuery
 from repro.relax.chains import ChainRuleSet
 from repro.relax.rules import RuleSet
@@ -139,7 +150,73 @@ class QueryPlan:
             tree = RankJoin(tree, operands.pop(pick), context)
         return tree
 
-    def _pick_connected(self, tree: Operator, operands: list[Operator]) -> int:
+    # ------------------------------------------------------------------
+    # Block operator-tree construction (the vectorized executor)
+    # ------------------------------------------------------------------
+    def build_block_operator_tree(
+        self,
+        graph: KnowledgeGraph,
+        rules: RuleSet,
+        context: ExecutionContext,
+        codec: TermCodec,
+        max_relaxations_per_pattern: int | None = None,
+        encoded_lists: "Callable[[TriplePattern], EncodedMatchList] | None" = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> BlockOperator:
+        """Materialise the plan as a block-at-a-time operator tree.
+
+        The vectorized twin of :meth:`build_operator_tree`: the same plan
+        partition, the same join order (join-group patterns first, then
+        singleton Incremental Merges, variable-connected operands
+        preferred) — so answer scores accumulate through the identical
+        left-deep additions — but every node exchanges
+        :class:`~repro.operators.block.Block` batches of encoded id
+        columns instead of :class:`~repro.query.answer.PartialAnswer`
+        objects.
+
+        *encoded_lists* optionally serves (cached) encoded match lists;
+        by default each leaf builds its own from *graph* via *codec*.
+        Chain relaxations have no block implementation — the executor
+        falls back to the tuple tree when chain rules are configured.
+        """
+        provider = encoded_lists or (
+            lambda pattern: build_encoded_match_list(graph, pattern, codec)
+        )
+        group_ops: list[BlockOperator] = [
+            VectorScan(
+                provider(self.query.patterns[i]), i, context, block_size=block_size
+            )
+            for i in sorted(self.join_group)
+        ]
+        merge_ops: list[BlockOperator] = []
+        for i in self.singletons:
+            pattern = self.query.patterns[i]
+            inputs: list[tuple[EncodedMatchList, float]] = [(provider(pattern), 1.0)]
+            applicable = rules.for_pattern(pattern)
+            if max_relaxations_per_pattern is not None:
+                applicable = applicable[:max_relaxations_per_pattern]
+            inputs.extend(
+                (provider(rule.range), rule.weight) for rule in applicable
+            )
+            merge_ops.append(
+                VectorIncrementalMerge(
+                    inputs, i, context, codec, block_size=block_size
+                )
+            )
+        operands: list[BlockOperator] = group_ops + merge_ops
+        if not operands:
+            raise PlanError("plan has no operands")
+        tree = operands.pop(0)
+        while operands:
+            pick = self._pick_connected(tree, operands)
+            tree = VectorRankJoin(
+                tree, operands.pop(pick), context, codec, block_size=block_size
+            )
+        return tree
+
+    def _pick_connected(
+        self, tree: "Operator | BlockOperator", operands: list
+    ) -> int:
         """Index of the first operand sharing a variable with *tree*."""
         tree_vars: set[str] = set()
         for index in tree.patterns_covered:

@@ -222,9 +222,21 @@ def run_workload(args: "argparse.Namespace") -> int:
         n_workers=args.workers,
         shards=args.shards,
         shard_strategy=args.shard_strategy,
+        executor=args.executor,
     )
     print(f"# workload: {workload.summary()}")
-    print(f"# batch: {len(queries)} queries, k={args.k}, mode={args.mode}")
+    print(
+        f"# batch: {len(queries)} queries, k={args.k}, mode={args.mode}, "
+        f"executor={args.executor}"
+    )
+    if args.executor == "block" and args.shards == 1 and not hasattr(
+        runner.graph, "store"
+    ):
+        print(
+            "# note: the workload graph is object-backed; the block "
+            "executor falls back to the tuple pipeline (convert to the "
+            "columnar backend or pass --shards >= 2 to vectorize)"
+        )
     if args.shards > 1:
         sizes = runner.graph.shard_sizes()
         print(
@@ -301,6 +313,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         default="score-range",
         help="row partitioning: stable subject hash, or contiguous "
         "score ranges (default; hottest triples in shard 0)",
+    )
+    service.add_argument(
+        "--executor", choices=("tuple", "block"), default="tuple",
+        help="execution strategy: tuple-at-a-time operators (default) or "
+        "the vectorized block-at-a-time engine over encoded columns "
+        "(identical answers; faster warm serving on columnar/sharded "
+        "backends)",
     )
     convert = parser.add_argument_group(
         "convert", "options for the 'convert' storage subcommand (TSV ⇄ snapshot)"

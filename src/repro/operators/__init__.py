@@ -16,17 +16,42 @@ to merge a pattern's relaxation lists lazily.
 * :class:`~repro.operators.topk.TopK` — dedup + collect the final top-k.
 * :class:`~repro.operators.memory.ExecutionContext` — answer-object
   accounting (the paper's memory metric) and pull statistics.
+
+The block-at-a-time vectorized twins (same upper-bound contract, batches
+of dictionary-encoded id columns instead of answer objects — see
+:mod:`repro.operators.block`):
+
+* :class:`~repro.operators.vector_scan.VectorScan` /
+  :class:`~repro.operators.vector_scan.VectorIncrementalMerge` — leaf
+  scans and relaxation merges over encoded match lists.
+* :class:`~repro.operators.vector_join.VectorRankJoin` — block HRJN rank
+  join probing int64 id columns.
+* :class:`~repro.operators.block.BlockTopK` — the decoding top-k sink.
 """
 
 from repro.operators.base import Operator
+from repro.operators.block import (
+    Block,
+    BlockOperator,
+    BlockTopK,
+    EncodedMatchList,
+    TermCodec,
+    build_encoded_match_list,
+)
 from repro.operators.incremental_merge import IncrementalMerge, WeightedInput
 from repro.operators.memory import ExecutionContext
 from repro.operators.rank_join import RankJoin
 from repro.operators.scan import SortedScan
 from repro.operators.shard_merge import ShardMerge, ShardScan, build_leaf_scan
 from repro.operators.topk import TopK
+from repro.operators.vector_join import VectorRankJoin
+from repro.operators.vector_scan import VectorIncrementalMerge, VectorScan
 
 __all__ = [
+    "Block",
+    "BlockOperator",
+    "BlockTopK",
+    "EncodedMatchList",
     "ExecutionContext",
     "IncrementalMerge",
     "Operator",
@@ -34,7 +59,12 @@ __all__ = [
     "ShardMerge",
     "ShardScan",
     "SortedScan",
+    "TermCodec",
     "TopK",
+    "VectorIncrementalMerge",
+    "VectorRankJoin",
+    "VectorScan",
     "WeightedInput",
+    "build_encoded_match_list",
     "build_leaf_scan",
 ]

@@ -1,0 +1,634 @@
+"""The block-at-a-time execution substrate: batches of encoded id columns.
+
+The tuple operators (:mod:`repro.operators.base`) move one Python
+:class:`~repro.query.answer.PartialAnswer` per pull — a dict of strings, a
+float, a frozenset — and probe string-keyed hash tables.  At serving
+scale that object churn is the dominant constant factor on the warm read
+path.  This module defines the vectorized counterpart the block operators
+(:mod:`repro.operators.vector_scan`, :mod:`repro.operators.vector_join`)
+exchange instead:
+
+* a :class:`Block` — a fixed-capacity batch of answers as parallel NumPy
+  arrays: one int64 **term-id column per variable** plus one float64
+  score column, rows in non-increasing score order;
+* a :class:`BlockOperator` protocol mirroring
+  :class:`~repro.operators.base.Operator` at block granularity (same
+  upper-bound contract, so the HRJN threshold argument carries over
+  unchanged — see :mod:`repro.operators.vector_join`);
+* a :class:`TermCodec` mapping terms to ids: dictionary-encoded backends
+  reuse their store ids verbatim, terms outside the store dictionary
+  (live-delta adds, object-graph terms) are interned into a side table —
+  the mapping is injective, so id equality *is* term equality and joins
+  never decode;
+* an :class:`EncodedMatchList` — a pattern's Definition-5 match list as
+  id columns + normalized scores, sliced straight out of a
+  :class:`~repro.kg.columnar.ColumnarStore` without materialising one
+  Triple or string (the fast path), or encoded from an ordinary
+  :class:`~repro.kg.index.MatchList` for overlay/object backends;
+* the :class:`BlockTopK` sink, the only place ids are decoded back to
+  strings — and only for the ≤ k (+ boundary ties) winning rows.
+
+Scores are computed with exactly the same float operations as the tuple
+engine (elementwise ``weight * normalized`` and left-deep ``+``), and
+both sinks share :func:`~repro.operators.topk.finalize_canonical`, so the
+two executors return byte-identical answer sequences.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+import weakref
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.operators.topk import finalize_canonical
+from repro.query.answer import Answer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kg.columnar import ColumnarStore
+    from repro.kg.index import MatchList
+    from repro.kg.pattern import TriplePattern
+
+#: Rows per emitted block.  Large enough to amortise per-block Python
+#: overhead, small enough that top-k early termination rarely touches a
+#: second block on selective queries.
+DEFAULT_BLOCK_SIZE = 1024
+
+
+class TermCodec:
+    """Injective term ↔ int64 id mapping over an optional store dictionary.
+
+    Ids below ``n_base`` are the backing
+    :class:`~repro.kg.columnar.ColumnarStore` dictionary ids (so columns
+    sliced from the store need no re-encoding); terms the store does not
+    know — live-delta adds, or every term when there is no store — get
+    side-table ids ``n_base, n_base + 1, ...`` in first-seen order.
+
+    A codec is only valid for one store object: compaction swaps the
+    store (and may renumber its dictionary), so the executor rebuilds the
+    codec whenever the backing store identity changes.
+    """
+
+    __slots__ = ("store", "n_base", "_side_ids", "_side_terms")
+
+    def __init__(self, store: "ColumnarStore | None" = None) -> None:
+        self.store = store
+        self.n_base = store.n_terms if store is not None else 0
+        self._side_ids: dict[str, int] = {}
+        self._side_terms: list[str] = []
+
+    @property
+    def n_ids(self) -> int:
+        """Exclusive upper bound on every id handed out so far."""
+        return self.n_base + len(self._side_terms)
+
+    def encode(self, term: str) -> int:
+        """The id of *term*, interning into the side table when new."""
+        if self.store is not None:
+            term_id = self.store.term_id(term)
+            if term_id is not None:
+                return term_id
+        side = self._side_ids.get(term)
+        if side is None:
+            side = self.n_base + len(self._side_terms)
+            self._side_ids[term] = side
+            self._side_terms.append(term)
+        return side
+
+    def decode(self, term_id: int) -> str:
+        """The term of *term_id* (store dictionary or side table)."""
+        if term_id < self.n_base:
+            assert self.store is not None
+            return self.store.term_list()[term_id]
+        return self._side_terms[term_id - self.n_base]
+
+
+def pack_columns(
+    columns: Sequence[np.ndarray], n_ids: int, n_rows: int | None = None
+) -> np.ndarray | None:
+    """One collision-free int64 key per row of the parallel id *columns*.
+
+    Zero columns (a variable-disjoint join's key) pack to zeros — every
+    row matches every row, exactly the tuple engine's empty-tuple key.
+    Returns ``None`` when ``n_ids ** n_columns`` overflows int64; callers
+    fall back to :func:`joint_group_ids`, which is slower but exact.
+    """
+    if not columns:
+        if n_rows is None:
+            raise ExecutionError("packing zero columns requires n_rows")
+        return np.zeros(n_rows, dtype=np.int64)
+    if len(columns) == 1:
+        return columns[0].astype(np.int64, copy=False)
+    base = max(int(n_ids), 1)
+    if base ** len(columns) >= 2**63:
+        return None
+    packed = columns[0].astype(np.int64, copy=True)
+    for column in columns[1:]:
+        packed *= base
+        packed += column
+    return packed
+
+
+def joint_group_ids(
+    a_columns: Sequence[np.ndarray], b_columns: Sequence[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Consistent group ids for two row sets keyed on the same columns.
+
+    The exact fallback when :func:`pack_columns` cannot pack: rows with
+    equal key tuples — within or across the two sets — receive equal
+    group ids (via one ``np.unique`` over the stacked columns), so the
+    ids are safe to ``searchsorted`` against each other.
+    """
+    n_a = len(a_columns[0])
+    stacked = np.stack(
+        [np.concatenate([a, b]) for a, b in zip(a_columns, b_columns)], axis=1
+    )
+    view = np.ascontiguousarray(stacked).view(
+        [("", stacked.dtype)] * stacked.shape[1]
+    ).ravel()
+    _, inverse = np.unique(view, return_inverse=True)
+    inverse = inverse.astype(np.int64, copy=False)
+    return inverse[:n_a], inverse[n_a:]
+
+
+def first_occurrence_keep(packed: np.ndarray) -> np.ndarray:
+    """Indices of the first occurrence of every distinct value, ascending.
+
+    Dedup-max over a score-descending array: keeping each key's first
+    occurrence keeps its maximum score (Definition 8), and re-sorting the
+    kept indices preserves the global score order.
+    """
+    _, first = np.unique(packed, return_index=True)
+    return np.sort(first)
+
+
+class EncodedMatchList:
+    """A pattern's Definition-5 match list as id columns + scores.
+
+    ``columns[i]`` holds the int64 ids bound to ``var_names[i]`` (the
+    pattern's distinct variables in S-P-O position order); ``scores``
+    are the *normalized* scores, non-increasing.  Rows are in exactly
+    the order the string :class:`~repro.kg.index.MatchList` would hold
+    them (raw score descending, ties by ``spo``), so a scan over this
+    list emits the same stream as a
+    :class:`~repro.operators.scan.SortedScan` minus the objects.
+    """
+
+    __slots__ = ("var_names", "columns", "scores", "max_score")
+
+    def __init__(
+        self,
+        var_names: tuple[str, ...],
+        columns: tuple[np.ndarray, ...],
+        scores: np.ndarray,
+        max_score: float,
+    ) -> None:
+        self.var_names = var_names
+        self.columns = columns
+        self.scores = scores
+        self.max_score = max_score
+
+    def __len__(self) -> int:
+        return len(self.scores)
+
+    def nbytes(self) -> int:
+        """Approximate memory footprint (cache budget accounting)."""
+        return int(self.scores.nbytes + sum(c.nbytes for c in self.columns))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_store(
+        cls, store: "ColumnarStore", pattern: "TriplePattern"
+    ) -> "EncodedMatchList":
+        """Slice the list straight out of dictionary-encoded columns.
+
+        No row is ever decoded to strings: candidate rows come from the
+        store's id masks, the order from ``score_order`` (the same
+        lexsort the string match list uses), and the variable columns
+        are plain slices.  Ids are store dictionary ids, which is what a
+        store-backed :class:`TermCodec` hands out for the same terms.
+        """
+        from repro.kg.columnar import ColumnarPatternIndex
+        from repro.kg.pattern import Variable
+
+        rows = store.rows_matching(pattern.key())
+        rows = ColumnarPatternIndex._filter_repeated_variables(pattern, rows, store)
+        rows = store.score_order(rows)
+        store_columns = (store.subjects, store.predicates, store.objects)
+        first_position: dict[str, int] = {}
+        for position, term in enumerate(pattern.terms):
+            if isinstance(term, Variable):
+                first_position.setdefault(term.name, position)
+        var_names = tuple(v.name for v in pattern.variables)
+        columns = tuple(
+            store_columns[first_position[name]][rows].astype(np.int64)
+            for name in var_names
+        )
+        if len(rows) == 0:
+            return cls(var_names, columns, np.empty(0, dtype=np.float64), 0.0)
+        raw = store.scores[rows]
+        max_score = float(raw[0])
+        if max_score > 0:
+            normalized = raw / max_score
+        else:
+            normalized = np.zeros(len(rows), dtype=np.float64)
+        return cls(var_names, columns, normalized, max_score)
+
+    @classmethod
+    def from_match_list(
+        cls,
+        match_list: "MatchList",
+        pattern: "TriplePattern",
+        codec: TermCodec,
+    ) -> "EncodedMatchList":
+        """Encode an already-built string match list through *codec*.
+
+        The overlay/object-backend path: live graphs serve merged
+        base∪delta lists whose delta terms may be outside the store
+        dictionary, so each binding is interned (store id when known,
+        side id otherwise).  Order and normalized scores are taken from
+        the list verbatim.
+
+        Patterns with repeated variables re-check each row's binding
+        consistency: match lists are cached by *key*, which conflates
+        ``(?x, p, ?x)`` with ``(?x, p, ?y)``, so a cache-served list may
+        hold off-diagonal rows.  The tuple scan defends with a per-row
+        ``pattern.bind`` check (:class:`~repro.operators.scan.SortedScan`);
+        this is the same defense — inconsistent rows are dropped, scores
+        of the surviving rows kept verbatim.
+        """
+        from repro.kg.pattern import Variable
+
+        positions_by_name: dict[str, list[int]] = {}
+        for position, term in enumerate(pattern.terms):
+            if isinstance(term, Variable):
+                positions_by_name.setdefault(term.name, []).append(position)
+        var_names = tuple(v.name for v in pattern.variables)
+        positions = [positions_by_name[name][0] for name in var_names]
+        repeated = [p for p in positions_by_name.values() if len(p) > 1]
+        triples = match_list.triples
+        normalized = match_list.normalized_scores
+        if repeated:
+            keep = [
+                row
+                for row, triple in enumerate(triples)
+                if all(
+                    len({triple.spo[p] for p in group}) == 1 for group in repeated
+                )
+            ]
+            triples = tuple(triples[row] for row in keep)
+            normalized = tuple(normalized[row] for row in keep)
+        n = len(triples)
+        columns = tuple(np.empty(n, dtype=np.int64) for _ in var_names)
+        encode = codec.encode
+        for row, triple in enumerate(triples):
+            spo = triple.spo
+            for column, position in zip(columns, positions):
+                column[row] = encode(spo[position])
+        scores = np.asarray(normalized, dtype=np.float64)
+        return cls(var_names, columns, scores, match_list.max_score)
+
+
+def build_encoded_match_list(
+    graph, pattern: "TriplePattern", codec: TermCodec
+) -> EncodedMatchList:
+    """The encoded match list of *pattern* over *graph*.
+
+    Backends exposing a :class:`~repro.kg.columnar.ColumnarStore` that
+    matches the codec's dictionary (columnar and sharded graphs — a
+    sharded graph's full store produces exactly the merged Definition-5
+    list) are sliced without decoding; everything else (live overlays,
+    object graphs) goes through the graph's ordinary — and cached —
+    string match list plus the codec.
+    """
+    store = getattr(graph, "store", None)
+    if store is not None and codec.store is store:
+        return EncodedMatchList.from_store(store, pattern)
+    return EncodedMatchList.from_match_list(graph.match_list(pattern), pattern, codec)
+
+
+class EncodedListStore:
+    """Shared, bounded, thread-safe store of encoded match lists.
+
+    The block executor's twin of :class:`repro.service.MatchListCache`:
+    one store per engine — or one shared across every worker engine of a
+    :class:`~repro.service.WorkloadRunner`, so a pattern is encoded once
+    per graph version no matter which thread first needs it.  The store
+    owns the :class:`TermCodec` too, because cached id columns are only
+    meaningful under the codec that produced them: whenever the graph
+    version or its backing store identity changes (mutations,
+    compaction), codec and cache are dropped together.
+
+    Like :class:`~repro.service.MatchListCache`, a store serves exactly
+    **one graph**: the single codec/version slot cannot express two
+    graphs' id spaces, and letting a second graph swap the codec
+    mid-query would silently mix side-table id generations inside one
+    operator tree.  The first graph seen binds the store (weakly);
+    serving a different graph raises — call :meth:`release` first when
+    the served graph is legitimately replaced (the runner does on its
+    frozen → live wrap).
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ExecutionError(f"store capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._owner: "object | None" = None  # weakref.ref to the bound graph
+        self._codec: TermCodec | None = None
+        self._version = -1
+        self._lists: "OrderedDict[object, EncodedMatchList]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @staticmethod
+    def _backing_store(graph) -> "ColumnarStore | None":
+        store = getattr(graph, "store", None)
+        if store is not None:
+            return store
+        base = getattr(graph, "base", None)
+        if base is not None:
+            return getattr(base, "store", None)
+        return None
+
+    def _refresh_locked(self, graph) -> TermCodec:
+        owner = self._owner() if self._owner is not None else None
+        if owner is None:
+            self._owner = weakref.ref(graph)
+            self._codec = None  # a fresh binding starts from scratch
+        elif owner is not graph:
+            raise ExecutionError(
+                "EncodedListStore is already bound to graph "
+                f"{getattr(owner, 'name', owner)!r}; one store serves one "
+                "graph — release() it first or give each graph its own store"
+            )
+        store = self._backing_store(graph)
+        version = graph.version
+        if (
+            self._codec is None
+            or self._codec.store is not store
+            or self._version != version
+        ):
+            self._codec = TermCodec(store)
+            self._version = version
+            self._lists.clear()
+        return self._codec
+
+    def codec(self, graph) -> TermCodec:
+        """The codec valid for *graph* right now (refreshing on staleness)."""
+        with self._lock:
+            return self._refresh_locked(graph)
+
+    def get_or_build(self, graph, pattern: "TriplePattern") -> EncodedMatchList:
+        """The encoded match list of *pattern*, built at most once per
+        graph version.  The cache key is the (hashable) pattern itself,
+        not its index key: two patterns with one index key can differ in
+        variable structure (repeated variables, variable names).
+
+        Building happens **outside** the lock (it may sort a cold match
+        list), so concurrent workers miss-build in parallel instead of
+        serializing on the store — the same discipline as the string
+        match-list cache.  Two threads may race to build the same
+        pattern; the first insert wins and the loser's copy is dropped.
+        """
+        with self._lock:
+            codec = self._refresh_locked(graph)
+            cached = self._lists.get(pattern)
+            if cached is not None:
+                self._lists.move_to_end(pattern)
+                self._hits += 1
+                return cached
+            version = self._version
+        built = build_encoded_match_list(graph, pattern, codec)
+        with self._lock:
+            if self._codec is not codec or self._version != version:
+                # The store moved on (mutation between batches, another
+                # graph generation): our build used a stale codec, so it
+                # must not be cached — hand it back for this query only,
+                # where its ids are consistent with the codec captured
+                # by the caller.
+                self._misses += 1
+                return built
+            cached = self._lists.get(pattern)
+            if cached is not None:
+                self._hits += 1
+                return cached
+            self._misses += 1
+            self._lists[pattern] = built
+            while len(self._lists) > self._capacity:
+                self._lists.popitem(last=False)
+                self._evictions += 1
+            return built
+
+    def release(self, graph) -> None:
+        """Unbind *graph* and drop every cached list.
+
+        Call when the served graph object is legitimately replaced (the
+        runner's frozen → live wrap); a no-op if *graph* is not the
+        bound owner.
+        """
+        with self._lock:
+            owner = self._owner() if self._owner is not None else None
+            if owner is None or owner is graph:
+                self._owner = None
+                self._codec = None
+                self._version = -1
+                self._lists.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters plus current shape."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "size": len(self._lists),
+                "capacity": self._capacity,
+                "version": self._version,
+            }
+
+    def clear(self) -> None:
+        """Drop every cached list (codec is rebuilt on next use)."""
+        with self._lock:
+            self._lists.clear()
+            self._codec = None
+            self._version = -1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._lists)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EncodedListStore(size={len(self)}, capacity={self._capacity})"
+
+
+class Block:
+    """One batch of answers: parallel id columns + non-increasing scores."""
+
+    __slots__ = ("var_names", "columns", "scores")
+
+    def __init__(
+        self,
+        var_names: tuple[str, ...],
+        columns: tuple[np.ndarray, ...],
+        scores: np.ndarray,
+    ) -> None:
+        if len(var_names) != len(columns):
+            raise ExecutionError(
+                f"block has {len(var_names)} variables but {len(columns)} columns"
+            )
+        self.var_names = var_names
+        self.columns = columns
+        self.scores = scores
+
+    def __len__(self) -> int:
+        return len(self.scores)
+
+    def column(self, name: str) -> np.ndarray:
+        """The id column bound to variable *name*."""
+        try:
+            return self.columns[self.var_names.index(name)]
+        except ValueError:
+            raise ExecutionError(f"block has no column for variable {name!r}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Block(vars={self.var_names}, rows={len(self)})"
+
+
+class BlockOperator(abc.ABC):
+    """Pull-based operator exchanging :class:`Block` batches.
+
+    Contract (the :class:`~repro.operators.base.Operator` contract lifted
+    to batches):
+
+    * :meth:`next_block` returns the next batch or ``None`` (exhausted);
+      once ``None`` is returned, all later calls return ``None``.
+    * Concatenating the emitted blocks yields a stream in non-increasing
+      score order.
+    * :meth:`upper_bound` bounds every future row's score; ``-inf`` once
+      exhausted, never increases.
+    * :attr:`var_names` is static — every emitted block binds exactly
+      these variables — which is what lets joins fix their key columns
+      before the first pull (the tuple engine must discover them from
+      the first item).
+    """
+
+    @abc.abstractmethod
+    def next_block(self) -> Block | None:
+        """Produce the next batch, or ``None`` when exhausted."""
+
+    @abc.abstractmethod
+    def upper_bound(self) -> float:
+        """Best score any not-yet-emitted row can have."""
+
+    @property
+    @abc.abstractmethod
+    def patterns_covered(self) -> frozenset[int]:
+        """Indexes (into the query) of the patterns this operator covers."""
+
+    @property
+    @abc.abstractmethod
+    def var_names(self) -> tuple[str, ...]:
+        """The variables every emitted block binds."""
+
+    def __iter__(self) -> Iterator[Block]:
+        while True:
+            block = self.next_block()
+            if block is None:
+                return
+            yield block
+
+
+class BlockTopK:
+    """Drain a :class:`BlockOperator` into the top-k distinct answers.
+
+    The only decode point of the block pipeline: rows are deduplicated
+    on their *projected id tuples* (the codec is injective, so id-tuple
+    equality is binding equality), pulled until the k-th distinct score's
+    tie run is exhausted, and only the surviving rows are decoded to
+    strings for the shared canonical cut
+    (:func:`~repro.operators.topk.finalize_canonical`).
+    """
+
+    def __init__(
+        self,
+        source: BlockOperator,
+        k: int,
+        codec: TermCodec,
+        projection: tuple[str, ...] | None = None,
+    ) -> None:
+        if k < 1:
+            raise ExecutionError(f"k must be >= 1, got {k}")
+        self._source = source
+        self._k = k
+        self._codec = codec
+        self._projection = projection
+
+    def run(self) -> list[Answer]:
+        source = self._source
+        names = (
+            tuple(sorted(source.var_names))
+            if self._projection is None
+            else tuple(
+                name for name in sorted(self._projection) if name in source.var_names
+            )
+        )
+        k = self._k
+        # The sink usually needs only ~k of a block's rows, so columns
+        # are materialised to Python lists chunk by chunk — converting a
+        # whole 1024-row block to visit 10 rows would dominate warm
+        # single-pattern queries.
+        chunk = max(32, 2 * k)
+        collected: list[tuple[float, tuple[int, ...]]] = []
+        seen: set[tuple[int, ...]] = set()
+        last_score = float("inf")
+        boundary: float | None = None
+        done = False
+        while not done:
+            block = source.next_block()
+            if block is None:
+                break
+            block_columns = [block.column(name) for name in names]
+            n_rows = len(block)
+            for start in range(0, n_rows, chunk):
+                stop = min(start + chunk, n_rows)
+                window = slice(start, stop)
+                columns = [column[window].tolist() for column in block_columns]
+                scores = block.scores[window].tolist()
+                for row, score in enumerate(scores):
+                    if score > last_score + 1e-9:
+                        raise ExecutionError(
+                            "block operator emitted rows out of score order: "
+                            f"{score:.6f} after {last_score:.6f}"
+                        )
+                    last_score = score
+                    if boundary is not None and score < boundary:
+                        done = True
+                        break
+                    key = tuple(column[row] for column in columns)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    collected.append((score, key))
+                    if len(collected) == k:
+                        boundary = score
+                if done:
+                    break
+        decode = self._codec.decode
+        results = [
+            Answer(tuple(zip(names, (decode(i) for i in key))), score)
+            for score, key in collected
+        ]
+        return finalize_canonical(results, k)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BlockTopK(k={self._k})"

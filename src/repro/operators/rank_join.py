@@ -18,12 +18,50 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import operator as _operator
 from collections import defaultdict
+from typing import Callable
 
 from repro.errors import ExecutionError
 from repro.operators.base import EXHAUSTED_BOUND, Operator
 from repro.operators.memory import ExecutionContext
 from repro.query.answer import PartialAnswer
+
+#: Sentinel bucket for tuples stored before the join variables are known.
+_PENDING_KEY = ("?pending",)
+
+
+def _make_key_extractor(
+    join_vars: tuple[str, ...],
+) -> Callable[[PartialAnswer], tuple]:
+    """A compiled join-key extractor for *join_vars*.
+
+    Built once per join when the shared variables are discovered, so the
+    per-probe work is a single ``itemgetter`` call instead of re-deriving
+    the variable tuple and iterating it in Python.
+    """
+    if not join_vars:
+        empty: tuple = ()
+        return lambda item: empty
+    getter = _operator.itemgetter(*join_vars)
+    if len(join_vars) == 1:
+        def extract_single(item: PartialAnswer) -> tuple:
+            try:
+                return (getter(item.bindings),)
+            except KeyError as exc:
+                raise ExecutionError(
+                    f"partial answer missing join variable {exc.args[0]!r}"
+                ) from None
+        return extract_single
+
+    def extract(item: PartialAnswer) -> tuple:
+        try:
+            return getter(item.bindings)
+        except KeyError as exc:
+            raise ExecutionError(
+                f"partial answer missing join variable {exc.args[0]!r}"
+            ) from None
+    return extract
 
 
 class RankJoin(Operator):
@@ -52,6 +90,11 @@ class RankJoin(Operator):
         self._context = context
         self._covered = left.patterns_covered | right.patterns_covered
         self._join_vars: tuple[str, ...] | None = None  # discovered lazily
+        #: Compiled key extractor, shared by both sides once the join
+        #: variables are known (both sides key on the same tuple).
+        self._extract_key: Callable[[PartialAnswer], tuple] | None = None
+        self._left_probe_keys: tuple[str, ...] | None = None
+        self._right_probe_keys: tuple[str, ...] | None = None
         self._left_table: dict[tuple[str, ...], list[PartialAnswer]] = defaultdict(list)
         self._right_table: dict[tuple[str, ...], list[PartialAnswer]] = defaultdict(list)
         self._left_top: float | None = None
@@ -66,40 +109,42 @@ class RankJoin(Operator):
         return self._covered
 
     # ------------------------------------------------------------------
-    def _discover_join_vars(self, item: PartialAnswer, from_left: bool) -> None:
+    def _discover_join_vars(
+        self, item: PartialAnswer, from_left: bool
+    ) -> Callable[[PartialAnswer], tuple] | None:
         """Fix the join variables the first time we see a tuple from each
         side.  We take the intersection of binding keys; both sides emit
         all their patterns' variables, so this equals the shared query
-        variables."""
-        if self._join_vars is not None:
-            return
+        variables.  Once both sides have been seen the extractor is
+        compiled, pending tuples are re-keyed, and this method is never
+        consulted again (the extractor caches the discovery)."""
         if from_left:
             self._left_probe_keys = tuple(sorted(item.bindings))
         else:
             self._right_probe_keys = tuple(sorted(item.bindings))
-        if hasattr(self, "_left_probe_keys") and hasattr(self, "_right_probe_keys"):
-            shared = tuple(
-                name for name in self._left_probe_keys
-                if name in set(self._right_probe_keys)
-            )
-            self._join_vars = shared
-
-    def _key_of(self, item: PartialAnswer) -> tuple[str, ...]:
-        assert self._join_vars is not None
-        return item.key_on(self._join_vars)
+        if self._left_probe_keys is None or self._right_probe_keys is None:
+            return None
+        right_names = set(self._right_probe_keys)
+        self._join_vars = tuple(
+            name for name in self._left_probe_keys if name in right_names
+        )
+        self._extract_key = _make_key_extractor(self._join_vars)
+        self._rekey_pending()
+        return self._extract_key
 
     def _insert_and_probe(self, item: PartialAnswer, from_left: bool) -> None:
-        self._discover_join_vars(item, from_left)
-        if self._join_vars is None:
-            # Only one side seen so far: just store under a sentinel key;
-            # tables are re-keyed once join vars are known.
-            table = self._left_table if from_left else self._right_table
-            table[("?pending",)].append(item)
-            return
-        self._rekey_pending_if_needed()
+        extract = self._extract_key
+        if extract is None:
+            extract = self._discover_join_vars(item, from_left)
+            if extract is None:
+                # Only one side seen so far: just store under a sentinel
+                # key; tables are re-keyed once join vars are known.
+                table = self._left_table if from_left else self._right_table
+                table[_PENDING_KEY].append(item)
+                return
         own_table = self._left_table if from_left else self._right_table
         other_table = self._right_table if from_left else self._left_table
-        key = self._key_of(item)
+        key = extract(item)
         own_table[key].append(item)
         self._context.joins_attempted += 1
         matches = other_table.get(key, ())
@@ -116,12 +161,13 @@ class RankJoin(Operator):
         if produced:
             self._context.joins_matched += 1
 
-    def _rekey_pending_if_needed(self) -> None:
+    def _rekey_pending(self) -> None:
+        assert self._extract_key is not None
         for table in (self._left_table, self._right_table):
-            pending = table.pop(("?pending",), None)
+            pending = table.pop(_PENDING_KEY, None)
             if pending:
                 for stored in pending:
-                    table[self._key_of(stored)].append(stored)
+                    table[self._extract_key(stored)].append(stored)
 
     # ------------------------------------------------------------------
     def _pull_once(self) -> bool:

@@ -33,10 +33,16 @@ from typing import Iterable, Literal, Sequence
 
 from repro.core.config import EngineConfig
 from repro.core.engine import QueryResult, SpecQPEngine
+from repro.core.executor import (
+    EXECUTOR_KINDS,
+    ExecutorKind,
+    supports_block_execution,
+)
 from repro.datasets.workload import Workload
 from repro.errors import ExperimentError
 from repro.kg.delta import GraphUpdate, LiveGraph
 from repro.kg.sharding import ShardedGraph, ShardStrategy
+from repro.operators.block import EncodedListStore
 from repro.query.query import TriplePatternQuery
 from repro.service.cache import DEFAULT_CAPACITY, CacheStats, MatchListCache
 from repro.service.report import QueryOutcome, WorkloadReport
@@ -130,6 +136,14 @@ class WorkloadRunner:
         :meth:`apply_updates` call wraps the served graph in: the delta
         auto-compacts into a fresh base once it holds this many pending
         mutations (``None`` = only explicit compaction).
+    executor:
+        ``"tuple"`` or ``"block"`` — the execution strategy every worker
+        engine uses (see :class:`~repro.core.engine.SpecQPEngine`).
+        ``"block"`` is the warm-throughput choice on columnar/sharded
+        backends; answers are byte-identical either way.  The attribute
+        is settable on a live runner (worker engines are rebuilt, and
+        the plan cache keys on the executor kind, so toggling never
+        replays state built for the other strategy).
 
     The runner assumes the graph is not mutated *during* a batch, and
     :meth:`apply_updates` enforces that: batches and update batches go
@@ -154,11 +168,16 @@ class WorkloadRunner:
         shards: int = 1,
         shard_strategy: ShardStrategy = "score-range",
         compact_threshold: int | None = None,
+        executor: ExecutorKind = "tuple",
     ) -> None:
         if n_workers < 1:
             raise ExperimentError(f"n_workers must be >= 1, got {n_workers}")
         if shards < 1:
             raise ExperimentError(f"shards must be >= 1, got {shards}")
+        if executor not in EXECUTOR_KINDS:
+            raise ExperimentError(
+                f"unknown executor {executor!r}; choose from {EXECUTOR_KINDS}"
+            )
         self.workload = workload
         self.config = config or EngineConfig()
         self.n_workers = n_workers
@@ -176,6 +195,11 @@ class WorkloadRunner:
         self.cache = MatchListCache(cache_capacity)
         self.plan_cache = plan_cache
         self.compact_threshold = compact_threshold
+        self._executor: ExecutorKind = executor
+        #: The block twin of :attr:`cache`, shared by every worker
+        #: engine: one bounded store of encoded (id-column) match lists,
+        #: so a pattern is encoded once per graph version per runner.
+        self.encoded_store = EncodedListStore(cache_capacity)
         self._plans: OrderedDict[object, object] = OrderedDict()
         self._plan_hits = 0
         self._plan_lock = threading.Lock()
@@ -199,6 +223,24 @@ class WorkloadRunner:
     def graph(self):
         """The served graph — the workload's, or its sharded snapshot."""
         return self._graph
+
+    @property
+    def executor(self) -> ExecutorKind:
+        """The execution strategy worker engines use (settable)."""
+        return self._executor
+
+    @executor.setter
+    def executor(self, kind: ExecutorKind) -> None:
+        if kind not in EXECUTOR_KINDS:
+            raise ExperimentError(
+                f"unknown executor {kind!r}; choose from {EXECUTOR_KINDS}"
+            )
+        if kind != self._executor:
+            self._executor = kind
+            # Engines carry per-executor state (codec, encoded-list
+            # cache); rebuild them lazily.  Cached plans stay valid —
+            # their keys include the executor kind.
+            self._local = threading.local()
 
     @property
     def catalog(self) -> StatisticsCatalog:
@@ -225,6 +267,13 @@ class WorkloadRunner:
             selectivity_mode=self.config.selectivity_mode,  # type: ignore[arg-type]
         )
         self._catalog.precompute(queries=queries)
+        if self._executor == "block" and supports_block_execution(self.graph):
+            # The block twin of the precompute above: encode the
+            # workload's patterns into the shared store up front, so the
+            # first measured batch starts as warm as the tuple path
+            # (whose string lists the catalog precompute just built).
+            for pattern in {p for query in queries for p in query.patterns}:
+                self.encoded_store.get_or_build(self.graph, pattern)
         self._catalog_version = self.graph.version
         self._plans.clear()
         self._local = threading.local()  # engines built on the old catalog die
@@ -240,6 +289,8 @@ class WorkloadRunner:
                 self.config,
                 catalog=self.catalog,
                 match_list_cache=self.cache,
+                executor=self._executor,
+                encoded_store=self.encoded_store,
             )
             self._local.engine = engine
         return engine
@@ -276,6 +327,9 @@ class WorkloadRunner:
             self.graph.attach_match_list_cache(self.cache)
         stats_before = self.cache.stats()
         plan_hits_before = self._plan_hits
+        encoded_before = (
+            self.encoded_store.stats() if self._executor == "block" else None
+        )
         shard_stats_before = (
             self.graph.shard_cache_stats() if self.shards > 1 else None
         )
@@ -289,9 +343,18 @@ class WorkloadRunner:
         wall = time.perf_counter() - started
 
         extras: dict[str, object] = {
+            "executor": self._executor,
             "plan_cache_hits": self._plan_hits - plan_hits_before,
             "plan_cache_size": len(self._plans),
         }
+        if encoded_before is not None:
+            encoded_after = self.encoded_store.stats()
+            extras["encoded_list_hits"] = (
+                encoded_after["hits"] - encoded_before["hits"]
+            )
+            extras["encoded_list_misses"] = (
+                encoded_after["misses"] - encoded_before["misses"]
+            )
         if self._updates["update_batches"]:
             extras.update(self.update_stats)
             extras["graph_version"] = self.graph.version
@@ -324,7 +387,10 @@ class WorkloadRunner:
         started = time.perf_counter()
         for query in queries:
             self.graph.invalidate_caches()
-            engine = SpecQPEngine(self.graph, self.workload.rules, self.config)
+            engine = SpecQPEngine(
+                self.graph, self.workload.rules, self.config,
+                executor=self._executor,
+            )
             outcomes.append(self._execute(engine, query, k))
         wall = time.perf_counter() - started
         self.graph.invalidate_caches()
@@ -349,7 +415,10 @@ class WorkloadRunner:
         started = time.perf_counter()
         plan = None
         if self.plan_cache:
-            key = (frozenset(query.patterns), query.projection, k)
+            # The executor kind is part of the key: plans are built per
+            # strategy, so toggling ``executor=`` on a shared runner can
+            # never replay a plan cached for the other pipeline.
+            key = (frozenset(query.patterns), query.projection, k, self._executor)
             with self._plan_lock:
                 plan = self._plans.get(key)
                 if plan is not None:
@@ -425,6 +494,7 @@ class WorkloadRunner:
                 # live wrapper (its entries describe the superseded view).
                 frozen.detach_match_list_cache()
                 self.cache.release(frozen)
+                self.encoded_store.release(frozen)
                 self._graph = LiveGraph(
                     frozen, compact_threshold=self.compact_threshold
                 )
@@ -502,5 +572,6 @@ class WorkloadRunner:
         )
         return (
             f"WorkloadRunner({self.workload.name!r}, "
-            f"n_workers={self.n_workers}{sharding}, cache={self.cache!r})"
+            f"n_workers={self.n_workers}{sharding}, "
+            f"executor={self._executor!r}, cache={self.cache!r})"
         )

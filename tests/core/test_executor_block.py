@@ -1,0 +1,193 @@
+"""Engine-level tests for the block execution strategy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SpecQPEngine
+from repro.core.executor import PlanExecutor, supports_block_execution
+from repro.errors import ExecutionError
+from repro.kg.columnar import ColumnarGraph
+from repro.kg.delta import GraphUpdate, LiveGraph
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pattern import TriplePattern, var
+from repro.query.query import TriplePatternQuery
+from repro.relax.chains import ChainRelaxationRule, ChainRuleSet
+from repro.relax.rules import RuleSet
+
+
+def tp(type_name: str, v: str = "s") -> TriplePattern:
+    return TriplePattern(var(v), "rdf:type", type_name)
+
+
+def rows(result):
+    return [(a.bindings, a.score) for a in result.answers]
+
+
+class TestExecutorSelection:
+    def test_unknown_executor_rejected(self, music_graph, music_rules):
+        with pytest.raises(ExecutionError):
+            SpecQPEngine(music_graph, music_rules, executor="parallel")
+
+    def test_default_is_tuple(self, music_graph, music_rules):
+        engine = SpecQPEngine(music_graph, music_rules)
+        assert engine.executor_kind == "tuple"
+        assert not engine.executor.uses_block_path()
+
+    def test_block_supported_on_columnar(self, music_graph, music_rules):
+        frozen = ColumnarGraph.from_graph(music_graph)
+        engine = SpecQPEngine(frozen, music_rules, executor="block")
+        assert engine.executor_kind == "block"
+        assert engine.executor.uses_block_path()
+
+    def test_object_graph_falls_back_to_tuple(self, music_graph, music_rules):
+        assert not supports_block_execution(music_graph)
+        engine = SpecQPEngine(music_graph, music_rules, executor="block")
+        assert not engine.executor.uses_block_path()
+
+    def test_live_overlay_supported(self, music_graph, music_rules):
+        live = LiveGraph(ColumnarGraph.from_graph(music_graph))
+        assert supports_block_execution(live)
+        engine = SpecQPEngine(live, music_rules, executor="block")
+        assert engine.executor.uses_block_path()
+
+    def test_chain_rules_force_tuple_fallback(self, music_graph, music_rules):
+        frozen = ColumnarGraph.from_graph(music_graph)
+        chains = ChainRuleSet(
+            [
+                ChainRelaxationRule(
+                    tp("singer"),
+                    (
+                        TriplePattern(var("s"), "memberOf", var("band")),
+                        TriplePattern(var("band"), "rdf:type", "group"),
+                    ),
+                    0.5,
+                )
+            ]
+        )
+        engine = SpecQPEngine(
+            frozen, music_rules, chain_rules=chains, executor="block"
+        )
+        assert not engine.executor.uses_block_path()
+
+
+class TestBlockEngineEquivalence:
+    @pytest.mark.parametrize("k", [1, 3, 10, 100])
+    def test_query_identical(
+        self, music_graph, music_rules, singer_lyricist_query, k
+    ):
+        frozen = ColumnarGraph.from_graph(music_graph)
+        tuple_engine = SpecQPEngine(frozen, music_rules, executor="tuple")
+        block_engine = SpecQPEngine(frozen, music_rules, executor="block")
+        assert rows(tuple_engine.query(singer_lyricist_query, k=k)) == rows(
+            block_engine.query(singer_lyricist_query, k=k)
+        )
+
+    def test_trinit_and_exact_identical(
+        self, music_graph, music_rules, three_pattern_query
+    ):
+        frozen = ColumnarGraph.from_graph(music_graph)
+        tuple_engine = SpecQPEngine(frozen, music_rules, executor="tuple")
+        block_engine = SpecQPEngine(frozen, music_rules, executor="block")
+        assert rows(tuple_engine.query_trinit(three_pattern_query, k=10)) == rows(
+            block_engine.query_trinit(three_pattern_query, k=10)
+        )
+        assert rows(tuple_engine.query_exact(three_pattern_query, k=10)) == rows(
+            block_engine.query_exact(three_pattern_query, k=10)
+        )
+
+    def test_empty_match_list_edge(self, music_rules):
+        """Regression: a pattern with zero matches in the block path."""
+        kg = KnowledgeGraph()
+        kg.add("a", "rdf:type", "singer", score=3.0)
+        frozen = ColumnarGraph.from_graph(kg)
+        query = TriplePatternQuery((tp("singer"), tp("ghost")), name="empty-side")
+        tuple_engine = SpecQPEngine(frozen, music_rules, executor="tuple")
+        block_engine = SpecQPEngine(frozen, music_rules, executor="block")
+        assert rows(block_engine.query_exact(query, k=5)) == rows(
+            tuple_engine.query_exact(query, k=5)
+        )
+        assert rows(block_engine.query_exact(query, k=5)) == []
+
+    def test_repeated_variable_after_cache_pollution(self, music_rules):
+        """Regression: an open pattern caches the unfiltered list under
+        the shared index key; a repeated-variable query over the live
+        overlay must still drop off-diagonal rows in the block path."""
+        kg = KnowledgeGraph()
+        for s, p, o, score in [
+            ("a", "p", "a", 4.0), ("a", "p", "b", 3.0),
+            ("b", "p", "b", 5.0), ("b", "p", "c", 2.0),
+        ]:
+            kg.add(s, p, o, score=score)
+        live = LiveGraph(ColumnarGraph.from_graph(kg))
+        live.apply_updates([GraphUpdate.add("c", "p", "d", 1.0)])
+        tuple_engine = SpecQPEngine(live, music_rules, executor="tuple")
+        block_engine = SpecQPEngine(live, music_rules, executor="block")
+        open_query = TriplePatternQuery(
+            (TriplePattern(var("x"), "p", var("y")),)
+        )
+        diagonal_query = TriplePatternQuery(
+            (TriplePattern(var("x"), "p", var("x")),)
+        )
+        for engine in (tuple_engine, block_engine):
+            engine.query_exact(open_query, k=10)  # pollute the key cache
+        expected = rows(tuple_engine.query_exact(diagonal_query, k=10))
+        actual = rows(block_engine.query_exact(diagonal_query, k=10))
+        assert actual == expected
+        assert [binding for binding, _ in actual] == [
+            (("x", "b"),), (("x", "a"),)
+        ]
+
+    def test_k_larger_than_result_count_edge(self, music_graph, music_rules):
+        """Regression: k far beyond the answer count in the block path."""
+        frozen = ColumnarGraph.from_graph(music_graph)
+        query = TriplePatternQuery((tp("singer"),), name="small")
+        tuple_engine = SpecQPEngine(frozen, music_rules, executor="tuple")
+        block_engine = SpecQPEngine(frozen, music_rules, executor="block")
+        expected = rows(tuple_engine.query_exact(query, k=500))
+        actual = rows(block_engine.query_exact(query, k=500))
+        assert actual == expected
+        assert len(actual) == 4
+
+
+class TestEncodedCacheLifecycle:
+    def test_cache_warm_after_first_execution(self, music_graph, music_rules):
+        frozen = ColumnarGraph.from_graph(music_graph)
+        engine = SpecQPEngine(frozen, music_rules, executor="block")
+        query = TriplePatternQuery((tp("singer"),))
+        engine.query_exact(query, k=3)
+        stats = engine.executor.encoded_cache_stats()
+        assert stats["encoded_lists"] >= 1
+        engine.query_exact(query, k=3)
+        assert engine.executor.encoded_cache_stats()["encoded_lists"] == stats[
+            "encoded_lists"
+        ]
+
+    def test_version_bump_clears_cache(self, music_graph, music_rules):
+        live = LiveGraph(ColumnarGraph.from_graph(music_graph))
+        engine = SpecQPEngine(live, music_rules, executor="block")
+        query = TriplePatternQuery((tp("singer"),))
+        before = rows(engine.query_exact(query, k=10))
+        live.apply_updates([GraphUpdate.add("newbie", "rdf:type", "singer", 200.0)])
+        after = rows(engine.query_exact(query, k=10))
+        assert before != after
+        assert after[0][0] == (("s", "newbie"),)
+
+    def test_compaction_swaps_store_and_codec(self, music_graph, music_rules):
+        live = LiveGraph(ColumnarGraph.from_graph(music_graph))
+        engine = SpecQPEngine(live, music_rules, executor="block")
+        query = TriplePatternQuery((tp("singer"),))
+        live.apply_updates([GraphUpdate.add("newbie", "rdf:type", "singer", 200.0)])
+        pre = rows(engine.query_exact(query, k=10))
+        live.compact()
+        post = rows(engine.query_exact(query, k=10))
+        assert pre == post
+
+    def test_cache_capacity_validated(self, music_graph, music_rules):
+        with pytest.raises(ExecutionError):
+            PlanExecutor(
+                ColumnarGraph.from_graph(music_graph),
+                music_rules,
+                executor="block",
+                encoded_cache_capacity=0,
+            )

@@ -1,0 +1,176 @@
+"""Equivalence suite: block executor × backends × shards × live updates.
+
+The acceptance bar for the vectorized engine: for every backend the
+block path runs on — columnar, sharded (1 and 4 shards), and live
+overlays over each, before and after compaction — ``executor="block"``
+returns byte-identical ``(bindings, score)`` sequences to
+``executor="tuple"``, on a real generated workload with mined rules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SpecQPEngine
+from repro.datasets.workload import Workload
+from repro.errors import ExperimentError
+from repro.kg.columnar import ColumnarGraph
+from repro.kg.delta import GraphUpdate, LiveGraph
+from repro.kg.sharding import ShardedGraph
+from repro.service import WorkloadRunner
+
+SHARD_COUNTS = (1, 4)
+
+
+def answer_rows(result):
+    return [(answer.bindings, answer.score) for answer in result.answers]
+
+
+@pytest.fixture(scope="module")
+def store_graph(tiny_xkg_workload):
+    return ColumnarGraph.from_graph(tiny_xkg_workload.graph)
+
+
+def _updates(graph):
+    """A small mutation batch touching existing and fresh terms."""
+    sample = [t for _, t in zip(range(12), graph.triples())]
+    updates = [GraphUpdate.remove(*t.spo) for t in sample[:6]]
+    updates += [
+        GraphUpdate.add(t.subject, t.predicate, t.object, t.score + 5.0)
+        for t in sample[6:]
+    ]
+    updates += [
+        GraphUpdate.add(f"fresh-{i}", "rdf:type", sample[0].object, 40.0 + i)
+        for i in range(4)
+    ]
+    return updates
+
+
+def _backends(store_graph):
+    """Every backend family the block engine claims to cover."""
+    backends = {"columnar": ColumnarGraph(store_graph.store, name="eq")}
+    for n_shards in SHARD_COUNTS:
+        backends[f"sharded-{n_shards}"] = ShardedGraph(
+            store_graph.store, n_shards, strategy="score-range", name="eq"
+        )
+    return backends
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_block_equals_tuple_on_static_backends(
+    tiny_xkg_workload, store_graph, n_shards
+):
+    graph = (
+        ColumnarGraph(store_graph.store, name="eq")
+        if n_shards == 1
+        else ShardedGraph(store_graph.store, n_shards, strategy="score-range")
+    )
+    tuple_engine = SpecQPEngine(graph, tiny_xkg_workload.rules, executor="tuple")
+    block_engine = SpecQPEngine(graph, tiny_xkg_workload.rules, executor="block")
+    assert block_engine.executor.uses_block_path()
+    for query in tiny_xkg_workload.queries:
+        for k in (3, 10):
+            expected = answer_rows(tuple_engine.query(query, k=k))
+            actual = answer_rows(block_engine.query(query, k=k))
+            assert actual == expected, (query.name, k, n_shards)
+
+
+@pytest.mark.parametrize("base_kind", ["columnar", "sharded-4"])
+@pytest.mark.parametrize("stage", ["pre-compaction", "post-compaction"])
+def test_block_equals_tuple_on_live_overlays(
+    tiny_xkg_workload, store_graph, base_kind, stage
+):
+    base = _backends(store_graph)[base_kind]
+    live = LiveGraph(base)
+    live.apply_updates(_updates(store_graph))
+    if stage == "post-compaction":
+        live.compact()
+    tuple_engine = SpecQPEngine(live, tiny_xkg_workload.rules, executor="tuple")
+    block_engine = SpecQPEngine(live, tiny_xkg_workload.rules, executor="block")
+    assert block_engine.executor.uses_block_path()
+    for query in tiny_xkg_workload.queries[:6]:
+        expected = answer_rows(tuple_engine.query(query, k=10))
+        actual = answer_rows(block_engine.query(query, k=10))
+        assert actual == expected, (query.name, base_kind, stage)
+
+
+class TestWorkloadRunnerExecutor:
+    def test_unknown_executor_rejected(self, tiny_xkg_workload):
+        with pytest.raises(ExperimentError):
+            WorkloadRunner(tiny_xkg_workload, executor="simd")
+
+    def test_reports_identical_across_executors(self, tiny_xkg_workload, store_graph):
+        workload = Workload(
+            "block-eq",
+            ColumnarGraph(store_graph.store, name="eq"),
+            tiny_xkg_workload.rules,
+            tiny_xkg_workload.queries,
+        )
+        queries = workload.stretched(30)
+        tuple_report = WorkloadRunner(workload, executor="tuple").run(queries, k=10)
+        block_report = WorkloadRunner(workload, executor="block").run(queries, k=10)
+        assert block_report.extras["executor"] == "block"
+        assert [o.n_answers for o in block_report.outcomes] == [
+            o.n_answers for o in tuple_report.outcomes
+        ]
+        assert [o.top_score for o in block_report.outcomes] == [
+            o.top_score for o in tuple_report.outcomes
+        ]
+
+    def test_executor_toggle_never_replays_stale_plans(
+        self, tiny_xkg_workload, store_graph
+    ):
+        """Plan-cache keys include the executor kind, so toggling
+        ``executor=`` on one shared runner keeps both strategies' plans
+        apart (and the answers identical)."""
+        workload = Workload(
+            "block-toggle",
+            ColumnarGraph(store_graph.store, name="eq"),
+            tiny_xkg_workload.rules,
+            tiny_xkg_workload.queries,
+        )
+        runner = WorkloadRunner(workload, executor="tuple")
+        queries = workload.queries[:4]
+        first = runner.run(queries, k=5)
+        plans_after_tuple = first.extras["plan_cache_size"]
+        assert first.extras["plan_cache_hits"] == 0
+
+        runner.executor = "block"
+        assert runner.executor == "block"
+        second = runner.run(queries, k=5)
+        # Same queries, other executor: no cross-executor plan reuse.
+        assert second.extras["plan_cache_hits"] == 0
+        assert second.extras["plan_cache_size"] == plans_after_tuple * 2
+
+        runner.executor = "tuple"
+        third = runner.run(queries, k=5)
+        # Back on tuple: its own plans are still cached and replayed.
+        assert third.extras["plan_cache_hits"] == len(queries)
+
+        assert [o.top_score for o in first.outcomes] == [
+            o.top_score for o in second.outcomes
+        ] == [o.top_score for o in third.outcomes]
+
+    def test_apply_updates_then_block_serving_stays_equivalent(
+        self, tiny_xkg_workload, store_graph
+    ):
+        workload = Workload(
+            "block-live",
+            ColumnarGraph(store_graph.store, name="eq"),
+            tiny_xkg_workload.rules,
+            tiny_xkg_workload.queries,
+        )
+        queries = workload.queries[:6]
+        tuple_runner = WorkloadRunner(workload, executor="tuple")
+        block_runner = WorkloadRunner(workload, executor="block")
+        updates = _updates(store_graph)
+        tuple_runner.apply_updates(updates)
+        block_runner.apply_updates(updates)
+        tuple_report = tuple_runner.run(queries, k=10)
+        block_report = block_runner.run(queries, k=10)
+        assert [o.top_score for o in block_report.outcomes] == [
+            o.top_score for o in tuple_report.outcomes
+        ]
+        assert [o.n_answers for o in block_report.outcomes] == [
+            o.n_answers for o in tuple_report.outcomes
+        ]

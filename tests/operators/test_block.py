@@ -1,0 +1,328 @@
+"""Unit tests for the block substrate: codec, encoded lists, blocks, sink."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.kg.columnar import ColumnarGraph
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.pattern import TriplePattern, Variable, var
+from repro.operators.block import (
+    Block,
+    BlockTopK,
+    EncodedListStore,
+    EncodedMatchList,
+    TermCodec,
+    build_encoded_match_list,
+    first_occurrence_keep,
+    joint_group_ids,
+    pack_columns,
+)
+from repro.operators.memory import ExecutionContext
+from repro.operators.scan import SortedScan
+from repro.operators.vector_scan import VectorScan
+
+
+def tp(type_name: str, v: str = "s") -> TriplePattern:
+    return TriplePattern(var(v), "rdf:type", type_name)
+
+
+@pytest.fixture
+def graph() -> KnowledgeGraph:
+    kg = KnowledgeGraph()
+    for i, score in enumerate((10.0, 8.0, 6.0, 4.0, 2.0)):
+        kg.add(f"e{i}", "rdf:type", "t", score=score)
+    kg.add("e0", "knows", "e1", score=3.0)
+    return kg
+
+
+@pytest.fixture
+def columnar(graph) -> ColumnarGraph:
+    return ColumnarGraph.from_graph(graph)
+
+
+class TestTermCodec:
+    def test_store_terms_keep_store_ids(self, columnar):
+        codec = TermCodec(columnar.store)
+        term = columnar.store.term_list()[0]
+        assert codec.encode(term) == 0
+        assert codec.decode(0) == term
+        assert codec.n_ids == columnar.store.n_terms
+
+    def test_side_interning_roundtrip(self, columnar):
+        codec = TermCodec(columnar.store)
+        base = codec.n_base
+        assert codec.encode("never-seen") == base
+        assert codec.encode("another") == base + 1
+        assert codec.encode("never-seen") == base  # stable
+        assert codec.decode(base) == "never-seen"
+        assert codec.decode(base + 1) == "another"
+        assert codec.n_ids == base + 2
+
+    def test_storeless_codec_interns_everything(self):
+        codec = TermCodec(None)
+        assert codec.encode("a") == 0
+        assert codec.encode("b") == 1
+        assert codec.decode(0) == "a"
+
+    def test_injective(self, columnar):
+        codec = TermCodec(columnar.store)
+        terms = columnar.store.term_list() + ["x1", "x2"]
+        ids = [codec.encode(t) for t in terms]
+        assert len(set(ids)) == len(terms)
+
+
+class TestPackColumns:
+    def test_single_column_passthrough(self):
+        column = np.array([3, 1, 2], dtype=np.int64)
+        packed = pack_columns([column], 10)
+        assert packed.tolist() == [3, 1, 2]
+
+    def test_two_columns_collision_free(self):
+        a = np.array([0, 1, 1], dtype=np.int64)
+        b = np.array([1, 0, 1], dtype=np.int64)
+        packed = pack_columns([a, b], 2)
+        assert len(set(packed.tolist())) == 3
+
+    def test_zero_columns_pack_to_constant(self):
+        packed = pack_columns([], 10, n_rows=4)
+        assert packed.tolist() == [0, 0, 0, 0]
+
+    def test_zero_columns_require_n_rows(self):
+        with pytest.raises(ExecutionError):
+            pack_columns([], 10)
+
+    def test_overflow_returns_none(self):
+        a = np.array([0], dtype=np.int64)
+        assert pack_columns([a, a, a], 3_000_000) is None
+
+    def test_equal_rows_pack_equal(self):
+        a = np.array([5, 5], dtype=np.int64)
+        b = np.array([7, 7], dtype=np.int64)
+        packed = pack_columns([a, b], 100)
+        assert packed[0] == packed[1]
+
+
+class TestJointGroupIds:
+    def test_consistent_across_row_sets(self):
+        a = (np.array([1, 2], dtype=np.int64), np.array([3, 4], dtype=np.int64))
+        b = (np.array([2, 1, 1], dtype=np.int64), np.array([4, 3, 9], dtype=np.int64))
+        ga, gb = joint_group_ids(a, b)
+        assert ga[0] == gb[1]  # (1, 3) in both sets
+        assert ga[1] == gb[0]  # (2, 4) in both sets
+        assert gb[2] not in (ga[0], ga[1])  # (1, 9) matches nothing
+
+
+class TestFirstOccurrenceKeep:
+    def test_keeps_first_in_order(self):
+        packed = np.array([7, 3, 7, 3, 9], dtype=np.int64)
+        assert first_occurrence_keep(packed).tolist() == [0, 1, 4]
+
+
+class TestEncodedMatchList:
+    def test_from_store_matches_string_list(self, columnar):
+        pattern = tp("t")
+        encoded = EncodedMatchList.from_store(columnar.store, pattern)
+        string_list = columnar.match_list(pattern)
+        assert len(encoded) == len(string_list)
+        assert encoded.var_names == ("s",)
+        terms = columnar.store.term_list()
+        decoded = [terms[i] for i in encoded.columns[0].tolist()]
+        expected = [t.subject for t in string_list.triples]
+        assert decoded == expected
+        assert encoded.scores.tolist() == list(string_list.normalized_scores)
+        assert encoded.max_score == string_list.max_score
+
+    def test_from_match_list_agrees_with_from_store(self, columnar):
+        pattern = TriplePattern(var("s"), "knows", var("o"))
+        codec = TermCodec(columnar.store)
+        from_store = EncodedMatchList.from_store(columnar.store, pattern)
+        from_list = EncodedMatchList.from_match_list(
+            columnar.match_list(pattern), pattern, codec
+        )
+        assert from_store.var_names == from_list.var_names
+        for a, b in zip(from_store.columns, from_list.columns):
+            assert a.tolist() == b.tolist()
+        assert from_store.scores.tolist() == from_list.scores.tolist()
+
+    def test_empty_pattern(self, columnar):
+        encoded = EncodedMatchList.from_store(columnar.store, tp("missing"))
+        assert len(encoded) == 0
+        assert encoded.max_score == 0.0
+
+    def test_repeated_variable_keeps_diagonal(self):
+        kg = KnowledgeGraph()
+        kg.add("a", "p", "a", score=5.0)
+        kg.add("a", "p", "b", score=4.0)
+        frozen = ColumnarGraph.from_graph(kg)
+        pattern = TriplePattern(var("x"), "p", var("x"))
+        encoded = EncodedMatchList.from_store(frozen.store, pattern)
+        assert len(encoded) == 1
+        assert encoded.var_names == ("x",)
+
+    def test_from_match_list_filters_key_conflated_repeated_variables(self):
+        """Regression: match lists are cached by *key*, which conflates
+        (?x, p, ?x) with (?x, p, ?y) — encoding a cache-served list for
+        the repeated-variable pattern must drop off-diagonal rows, like
+        the tuple scan's per-row bind check does."""
+        kg = KnowledgeGraph()
+        for s, p, o, score in [
+            ("a", "p", "a", 4.0), ("a", "p", "b", 3.0), ("b", "p", "b", 5.0),
+        ]:
+            kg.add(s, p, o, score=score)
+        open_pattern = TriplePattern(var("x"), "p", var("y"))
+        diagonal = TriplePattern(var("x"), "p", var("x"))
+        # The polluted list: built for the open pattern, same index key.
+        polluted = kg.match_list(open_pattern)
+        codec = TermCodec(None)
+        encoded = EncodedMatchList.from_match_list(polluted, diagonal, codec)
+        assert len(encoded) == 2  # only (b,p,b) and (a,p,a) survive
+        decoded = [codec.decode(i) for i in encoded.columns[0].tolist()]
+        assert decoded == ["b", "a"]
+        # Scores stay verbatim from the polluted list (the tuple scan's
+        # behaviour): normalised by the list's global max.
+        assert encoded.scores.tolist() == [1.0, 0.8]
+
+    def test_build_helper_prefers_store(self, columnar):
+        codec = TermCodec(columnar.store)
+        encoded = build_encoded_match_list(columnar, tp("t"), codec)
+        assert len(encoded) == 5
+
+    def test_build_helper_falls_back_without_matching_store(self, graph):
+        codec = TermCodec(None)
+        encoded = build_encoded_match_list(graph, tp("t"), codec)
+        assert len(encoded) == 5
+        decoded = [codec.decode(i) for i in encoded.columns[0].tolist()]
+        assert decoded == ["e0", "e1", "e2", "e3", "e4"]
+
+
+class TestEncodedListStore:
+    def test_hit_miss_accounting(self, columnar):
+        store = EncodedListStore(capacity=4)
+        pattern = tp("t")
+        first = store.get_or_build(columnar, pattern)
+        again = store.get_or_build(columnar, pattern)
+        assert again is first
+        stats = store.stats()
+        assert (stats["hits"], stats["misses"]) == (1, 1)
+
+    def test_bound_to_one_graph(self, columnar, graph):
+        store = EncodedListStore()
+        store.get_or_build(columnar, tp("t"))
+        other = ColumnarGraph.from_graph(graph, name="other")
+        with pytest.raises(ExecutionError):
+            store.get_or_build(other, tp("t"))
+        store.release(columnar)
+        assert len(store.get_or_build(other, tp("t"))) == 5  # rebound
+
+    def test_capacity_bound_evicts_lru(self, columnar):
+        store = EncodedListStore(capacity=1)
+        store.get_or_build(columnar, tp("t"))
+        store.get_or_build(columnar, TriplePattern(var("s"), "knows", var("o")))
+        assert len(store) == 1
+        assert store.stats()["evictions"] == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ExecutionError):
+            EncodedListStore(capacity=0)
+
+
+class TestBlock:
+    def test_column_lookup(self):
+        block = Block(
+            ("s", "o"),
+            (np.array([1], dtype=np.int64), np.array([2], dtype=np.int64)),
+            np.array([1.0]),
+        )
+        assert block.column("o").tolist() == [2]
+        with pytest.raises(ExecutionError):
+            block.column("missing")
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ExecutionError):
+            Block(("s",), (), np.array([1.0]))
+
+
+class TestVectorScan:
+    def test_stream_matches_sorted_scan(self, columnar):
+        pattern = tp("t")
+        encoded = EncodedMatchList.from_store(columnar.store, pattern)
+        context = ExecutionContext()
+        scan = VectorScan(encoded, 0, context, weight=0.5, block_size=2)
+        reference = SortedScan(columnar, pattern, 0, ExecutionContext(), weight=0.5)
+        emitted = []
+        while True:
+            bound_before = scan.upper_bound()
+            ref_bound = reference.upper_bound()
+            assert bound_before == ref_bound
+            block = scan.next_block()
+            if block is None:
+                break
+            assert len(block) <= 2
+            for row in range(len(block)):
+                item = reference.next()
+                assert float(block.scores[row]) == item.score
+                emitted.append(float(block.scores[row]))
+        assert reference.next() is None
+        assert emitted == sorted(emitted, reverse=True)
+        assert context.tuples_pulled == 5
+
+    def test_empty_list_is_born_exhausted(self, columnar):
+        encoded = EncodedMatchList.from_store(columnar.store, tp("missing"))
+        scan = VectorScan(encoded, 0, ExecutionContext())
+        assert scan.next_block() is None
+        assert scan.upper_bound() == float("-inf")
+
+    def test_weight_validation(self, columnar):
+        encoded = EncodedMatchList.from_store(columnar.store, tp("t"))
+        with pytest.raises(ExecutionError):
+            VectorScan(encoded, 0, ExecutionContext(), weight=1.5)
+
+
+class TestBlockTopK:
+    def _scan(self, columnar, pattern=None, block_size=1024):
+        pattern = pattern or tp("t")
+        encoded = EncodedMatchList.from_store(columnar.store, pattern)
+        return VectorScan(encoded, 0, ExecutionContext(), block_size=block_size)
+
+    def test_collects_k(self, columnar):
+        codec = TermCodec(columnar.store)
+        answers = BlockTopK(self._scan(columnar), 3, codec).run()
+        assert [a.as_dict()["s"] for a in answers] == ["e0", "e1", "e2"]
+
+    def test_k_larger_than_result_count(self, columnar):
+        codec = TermCodec(columnar.store)
+        answers = BlockTopK(self._scan(columnar), 100, codec).run()
+        assert len(answers) == 5
+
+    def test_empty_source(self, columnar):
+        codec = TermCodec(columnar.store)
+        answers = BlockTopK(self._scan(columnar, tp("missing")), 10, codec).run()
+        assert answers == []
+
+    def test_k_must_be_positive(self, columnar):
+        codec = TermCodec(columnar.store)
+        with pytest.raises(ExecutionError):
+            BlockTopK(self._scan(columnar), 0, codec)
+
+    def test_boundary_ties_resolved_canonically(self):
+        kg = KnowledgeGraph()
+        # Three equal-scored entities straddle the k=2 boundary.
+        for name in ("zeta", "alpha", "mid"):
+            kg.add(name, "rdf:type", "t", score=5.0)
+        kg.add("top", "rdf:type", "t", score=9.0)
+        frozen = ColumnarGraph.from_graph(kg)
+        codec = TermCodec(frozen.store)
+        answers = BlockTopK(self._scan(frozen), 2, codec).run()
+        assert [a.as_dict()["s"] for a in answers] == ["top", "alpha"]
+
+    def test_projection_dedups_on_projected_vars(self, columnar):
+        pattern = TriplePattern(var("s"), "rdf:type", var("o"))
+        encoded = EncodedMatchList.from_store(columnar.store, pattern)
+        scan = VectorScan(encoded, 0, ExecutionContext())
+        codec = TermCodec(columnar.store)
+        answers = BlockTopK(scan, 10, codec, projection=("o",)).run()
+        assert [a.as_dict() for a in answers] == [{"o": "t"}]
+        assert answers[0].score == 1.0
