@@ -31,15 +31,19 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 import numpy as np  # noqa: E402
 
 from repro.datasets import generate_scaled_graph  # noqa: E402
 from repro.datasets.workload import Workload  # noqa: E402
-from repro.kg.pattern import TriplePattern, Variable  # noqa: E402
-from repro.query.query import TriplePatternQuery  # noqa: E402
 from repro.relax.rules import RuleSet  # noqa: E402
 from repro.service import WorkloadRunner  # noqa: E402
+
+# The baseline serves exactly the traffic the asserted benchmark serves —
+# import its query set rather than copying it, so editing the benchmark's
+# traffic can never silently desynchronize BENCH_PR5.json.
+from test_block_executor import diverse_queries  # noqa: E402
 
 SEED = 7
 K = 10
@@ -47,32 +51,11 @@ BOUNDED_CACHE = 8
 FULL_CACHE = 2048
 
 
-def diverse_queries() -> list[TriplePatternQuery]:
-    """The block-executor benchmark's traffic: opens, lookups, chains."""
-    s, o, t = Variable("s"), Variable("o"), Variable("t")
-    queries = [
-        TriplePatternQuery((TriplePattern(s, f"p{i:03d}", o),), name=f"pred-{i}")
-        for i in range(32)
-    ]
-    queries += [
-        TriplePatternQuery(
-            (TriplePattern(s, f"p{i:03d}", f"e{j:05d}"),), name=f"obj-{i}-{j}"
-        )
-        for i, j in [(0, 0), (1, 1), (2, 0), (0, 2), (3, 1), (1, 0), (2, 2), (4, 0)]
-    ]
-    queries += [
-        TriplePatternQuery(
-            (TriplePattern(s, f"p{i:03d}", o), TriplePattern(o, f"p{i + 1:03d}", t)),
-            name=f"chain-{i}",
-        )
-        for i in (0, 5, 9)
-    ]
-    return queries
-
-
 def run_matrix(profile: str, batch_size: int) -> dict:
     graph = generate_scaled_graph(profile, seed=SEED)
-    workload = Workload(f"bench-{profile}", graph, RuleSet(), diverse_queries())
+    workload = Workload(
+        f"bench-{profile}", graph, RuleSet(), diverse_queries(n_predicates=32)
+    )
     batch = workload.stretched(batch_size)
 
     runs: list[dict] = []

@@ -24,7 +24,9 @@ codec) from an :class:`~repro.operators.block.EncodedListStore` — a
 private one by default, or a shared one injected by the service layer so
 every worker engine of a batch encodes each pattern at most once.  The
 store is version- and store-identity-aware, so stale ids can never leak
-across mutations or compactions.
+across mutations or compactions; a graph that changes *mid-query* makes
+the affected query raise :class:`~repro.errors.ExecutionError` instead
+of silently decoding wrong terms.
 """
 
 from __future__ import annotations
@@ -155,7 +157,13 @@ class PlanExecutor:
             context,
             codec,
             max_relaxations_per_pattern=self._max_relaxations,
-            encoded_lists=self._encoded_list,
+            # Pin every leaf to the codec captured above: the sink decodes
+            # with it, so a leaf encoded under a refreshed codec (graph
+            # mutated mid-query) must fail loudly instead of binding wrong
+            # terms.
+            encoded_lists=lambda pattern: self._encoded_store.get_or_build(
+                self._graph, pattern, expect_codec=codec
+            ),
         )
         projection = tuple(v.name for v in plan.query.projection)
         answers = BlockTopK(tree, k, codec, projection).run()
@@ -181,9 +189,6 @@ class PlanExecutor:
     def encoded_store(self) -> EncodedListStore:
         """The encoded match-list store serving the block path."""
         return self._encoded_store
-
-    def _encoded_list(self, pattern):
-        return self._encoded_store.get_or_build(self._graph, pattern)
 
     def encoded_cache_stats(self) -> dict[str, int]:
         """Diagnostics from the encoded match-list store."""

@@ -71,15 +71,24 @@ class TermCodec:
     A codec is only valid for one store object: compaction swaps the
     store (and may renumber its dictionary), so the executor rebuilds the
     codec whenever the backing store identity changes.
+
+    Interning is thread-safe: one codec is shared by every worker engine
+    of a :class:`~repro.service.WorkloadRunner`, and
+    :meth:`EncodedListStore.get_or_build` deliberately builds match
+    lists outside the store lock, so concurrent :meth:`encode` calls on
+    the overlay/object path must not hand the same side id to two
+    distinct terms (injectivity is what lets joins and the top-k sink
+    compare ids instead of strings).
     """
 
-    __slots__ = ("store", "n_base", "_side_ids", "_side_terms")
+    __slots__ = ("store", "n_base", "_side_ids", "_side_terms", "_side_lock")
 
     def __init__(self, store: "ColumnarStore | None" = None) -> None:
         self.store = store
         self.n_base = store.n_terms if store is not None else 0
         self._side_ids: dict[str, int] = {}
         self._side_terms: list[str] = []
+        self._side_lock = threading.Lock()
 
     @property
     def n_ids(self) -> int:
@@ -94,9 +103,14 @@ class TermCodec:
                 return term_id
         side = self._side_ids.get(term)
         if side is None:
-            side = self.n_base + len(self._side_terms)
-            self._side_ids[term] = side
-            self._side_terms.append(term)
+            with self._side_lock:
+                side = self._side_ids.get(term)
+                if side is None:
+                    side = self.n_base + len(self._side_terms)
+                    # Append before publishing in the dict: any id another
+                    # thread can observe must already decode.
+                    self._side_terms.append(term)
+                    self._side_ids[term] = side
         return side
 
     def decode(self, term_id: int) -> str:
@@ -388,11 +402,23 @@ class EncodedListStore:
         with self._lock:
             return self._refresh_locked(graph)
 
-    def get_or_build(self, graph, pattern: "TriplePattern") -> EncodedMatchList:
+    def get_or_build(
+        self,
+        graph,
+        pattern: "TriplePattern",
+        expect_codec: TermCodec | None = None,
+    ) -> EncodedMatchList:
         """The encoded match list of *pattern*, built at most once per
         graph version.  The cache key is the (hashable) pattern itself,
         not its index key: two patterns with one index key can differ in
-        variable structure (repeated variables, variable names).
+        variable structure (repeated variables, repeated names).
+
+        *expect_codec* pins the call to one codec generation: a query
+        captures the codec once at its start and decodes with it at the
+        sink, so a leaf served under any *other* codec (the graph
+        version or backing store moved between query start and this
+        build) would silently bind wrong ids.  Passing the captured
+        codec turns that into a clean :class:`~repro.errors.ExecutionError`.
 
         Building happens **outside** the lock (it may sort a cold match
         list), so concurrent workers miss-build in parallel instead of
@@ -402,6 +428,13 @@ class EncodedListStore:
         """
         with self._lock:
             codec = self._refresh_locked(graph)
+            if expect_codec is not None and codec is not expect_codec:
+                raise ExecutionError(
+                    "graph changed during block execution: the encoded "
+                    "match-list store refreshed its codec after this query "
+                    "captured one — do not mutate the graph (or swap its "
+                    "backing store) while a query is in flight"
+                )
             cached = self._lists.get(pattern)
             if cached is not None:
                 self._lists.move_to_end(pattern)

@@ -16,6 +16,12 @@ orders everything it collected by ``(-score, bindings)`` and cuts to
 what lets two executors with entirely different internals (the
 tuple-at-a-time operators and the block-at-a-time vectorized engine, see
 :mod:`repro.operators.block`) return byte-identical answer sequences.
+
+The extra work is bounded by the boundary tie run.  On real scored data
+ties are rare and the sink still stops after ~k pulls; the degenerate
+worst case — every answer sharing one score, e.g. a constant-score
+pattern — drains the whole stream before cutting.  That is the price of
+determinism, and it is paid identically by both executors.
 """
 
 from __future__ import annotations

@@ -47,6 +47,30 @@ from repro.operators.block import (
 from repro.operators.memory import ExecutionContext
 
 
+def _weave_mask(old_keys: np.ndarray, new_keys: np.ndarray) -> np.ndarray:
+    """Where the sorted run *new_keys* lands when woven into *old_keys*.
+
+    Both runs ascending.  Returns a boolean mask over the merged length:
+    True slots take new rows in order, False slots take old rows in
+    order — callers scatter each payload array with :func:`_weave`.
+    ``side="right"`` puts a new row after every equal old row, exactly
+    the tie order of a stable concat-argsort.
+    """
+    slots = np.searchsorted(old_keys, new_keys, side="right")
+    targets = slots + np.arange(len(new_keys), dtype=np.int64)
+    new_mask = np.zeros(len(old_keys) + len(new_keys), dtype=bool)
+    new_mask[targets] = True
+    return new_mask
+
+
+def _weave(old: np.ndarray, new: np.ndarray, new_mask: np.ndarray) -> np.ndarray:
+    """Scatter two payload runs into one merged array per *new_mask*."""
+    merged = np.empty(len(old) + len(new), dtype=old.dtype)
+    merged[new_mask] = new
+    merged[~new_mask] = old
+    return merged
+
+
 class _Side:
     """One join input: its pulled rows, consolidated lazily for probing."""
 
@@ -123,20 +147,9 @@ class _Side:
             self._packed_sorted = new_sorted
             self._order = new_order
         else:
-            # side="right" keeps equal keys in pull order (stable).
-            slots = np.searchsorted(self._packed_sorted, new_sorted, side="right")
-            targets = slots + np.arange(len(new_sorted), dtype=np.int64)
-            total = self._n
-            merged_keys = np.empty(total, dtype=self._packed_sorted.dtype)
-            merged_order = np.empty(total, dtype=np.int64)
-            old_mask = np.ones(total, dtype=bool)
-            old_mask[targets] = False
-            merged_keys[targets] = new_sorted
-            merged_keys[old_mask] = self._packed_sorted
-            merged_order[targets] = new_order
-            merged_order[old_mask] = self._order
-            self._packed_sorted = merged_keys
-            self._order = merged_order
+            new_mask = _weave_mask(self._packed_sorted, new_sorted)
+            self._order = _weave(self._order, new_order, new_mask)
+            self._packed_sorted = _weave(self._packed_sorted, new_sorted, new_mask)
         self._dirty = False
 
     def probe_arrays(
@@ -258,16 +271,33 @@ class VectorRankJoin(BlockOperator):
     def _buffer_insert(
         self, columns: tuple[np.ndarray, ...], scores: np.ndarray
     ) -> None:
-        """Merge new results into the sorted buffer (unreleased part)."""
+        """Merge new results into the sorted buffer (unreleased part).
+
+        Only the fresh results are argsorted (they are few per probe);
+        the sorted run is then woven into the already-sorted unreleased
+        buffer (:func:`_weave_mask`, shared with
+        :meth:`_Side._consolidate`), so an unselective join that buffers
+        many results before the threshold releases them pays
+        O(buffer + new) per probe instead of re-sorting the whole buffer
+        every time.
+        """
+        new_order = np.argsort(-scores, kind="stable")
+        new_scores = scores[new_order]
+        new_columns = tuple(column[new_order] for column in columns)
         position = self._buf_position
-        merged_scores = np.concatenate([self._buf_scores[position:], scores])
-        merged_columns = tuple(
-            np.concatenate([kept[position:], new])
-            for kept, new in zip(self._buf_columns, columns)
+        kept_scores = self._buf_scores[position:]
+        if len(kept_scores) == 0:
+            self._buf_scores = new_scores
+            self._buf_columns = new_columns
+            self._buf_position = 0
+            return
+        # Negated scores turn the descending runs ascending for the weave.
+        new_mask = _weave_mask(-kept_scores, -new_scores)
+        self._buf_scores = _weave(kept_scores, new_scores, new_mask)
+        self._buf_columns = tuple(
+            _weave(kept[position:], new, new_mask)
+            for kept, new in zip(self._buf_columns, new_columns)
         )
-        order = np.argsort(-merged_scores, kind="stable")
-        self._buf_scores = merged_scores[order]
-        self._buf_columns = tuple(column[order] for column in merged_columns)
         self._buf_position = 0
 
     # ------------------------------------------------------------------

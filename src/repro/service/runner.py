@@ -143,7 +143,10 @@ class WorkloadRunner:
         backends; answers are byte-identical either way.  The attribute
         is settable on a live runner (worker engines are rebuilt, and
         the plan cache keys on the executor kind, so toggling never
-        replays state built for the other strategy).
+        replays state built for the other strategy); the setter takes
+        the same writer gate as :meth:`apply_updates`, so it waits for
+        in-flight batches — every batch runs, and is reported, under
+        exactly one strategy.  Do not toggle from inside a batch.
 
     The runner assumes the graph is not mutated *during* a batch, and
     :meth:`apply_updates` enforces that: batches and update batches go
@@ -235,12 +238,19 @@ class WorkloadRunner:
             raise ExperimentError(
                 f"unknown executor {kind!r}; choose from {EXECUTOR_KINDS}"
             )
-        if kind != self._executor:
-            self._executor = kind
-            # Engines carry per-executor state (codec, encoded-list
-            # cache); rebuild them lazily.  Cached plans stay valid —
-            # their keys include the executor kind.
-            self._local = threading.local()
+        # Take the writer side of the batch gate — the serialization
+        # :meth:`apply_updates` uses: in-flight batches finish on the old
+        # strategy (and report it in their extras) before the swap lands,
+        # so a batch never mixes strategies or mislabels its results.
+        # Consequently the toggle must not be issued from inside a batch
+        # (it would wait for that batch to finish).
+        with self._gate.writer():
+            if kind != self._executor:
+                self._executor = kind
+                # Engines carry per-executor state (codec, encoded-list
+                # cache); rebuild them lazily.  Cached plans stay valid —
+                # their keys include the executor kind.
+                self._local = threading.local()
 
     @property
     def catalog(self) -> StatisticsCatalog:

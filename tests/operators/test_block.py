@@ -73,6 +73,37 @@ class TestTermCodec:
         ids = [codec.encode(t) for t in terms]
         assert len(set(ids)) == len(terms)
 
+    def test_concurrent_interning_stays_injective(self):
+        # One codec is shared by every worker thread of a runner, and
+        # side-table interning happens outside the store lock: two
+        # threads racing to intern must never hand one id to two terms.
+        import threading
+
+        codec = TermCodec(None)
+        terms = [f"term-{i}" for i in range(500)]
+        barrier = threading.Barrier(4)
+        results: list[dict[str, int]] = [{} for _ in range(4)]
+
+        def intern(slot: int) -> None:
+            barrier.wait()
+            # Each thread walks the terms in a different order so the
+            # first-toucher of any given term varies.
+            ordered = terms[slot:] + terms[:slot]
+            results[slot] = {t: codec.encode(t) for t in ordered}
+
+        threads = [
+            threading.Thread(target=intern, args=(slot,)) for slot in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        reference = results[0]
+        assert len(set(reference.values())) == len(terms)  # injective
+        for other in results[1:]:
+            assert other == reference  # and identical across threads
+        assert all(codec.decode(i) == t for t, i in reference.items())
+
 
 class TestPackColumns:
     def test_single_column_passthrough(self):
@@ -227,6 +258,19 @@ class TestEncodedListStore:
     def test_capacity_validated(self):
         with pytest.raises(ExecutionError):
             EncodedListStore(capacity=0)
+
+    def test_expect_codec_rejects_mid_query_mutation(self, graph):
+        # A query captures the codec once and decodes with it at the
+        # sink; a leaf built after the graph moved on must fail loudly
+        # instead of encoding ids the sink cannot decode.
+        store = EncodedListStore()
+        codec = store.codec(graph)
+        assert len(store.get_or_build(graph, tp("t"), expect_codec=codec)) == 5
+        graph.add("e9", "rdf:type", "t", score=1.0)  # version bump
+        with pytest.raises(ExecutionError, match="graph changed"):
+            store.get_or_build(graph, tp("t"), expect_codec=codec)
+        # Without the pin the store refreshes and serves the new version.
+        assert len(store.get_or_build(graph, tp("t"))) == 6
 
 
 class TestBlock:
