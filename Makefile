@@ -1,7 +1,8 @@
 # Spec-QP reproduction — common entry points.
 #
 #   make test    tier-1 verification (unit + property + integration + benchmarks)
-#   make bench   benchmark suite with timing tables + the BENCH_PR5.json baseline
+#   make bench   benchmark suite with timing tables + the BENCH_PR6.json baseline
+#   make bench-diff  regenerate the baseline and diff it against the prior PR's
 #   make cov     tests with line coverage + the CI floor (needs pytest-cov)
 #   make docs    docs link + snippet import check, run every runnable doc surface
 #   make workload  demo the batch-serving layer (cold vs warm)
@@ -13,9 +14,12 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 COV_FAIL_UNDER ?= 80
 
 #: Where `make bench` persists the machine-readable perf baseline.
-BENCH_JSON ?= BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR6.json
 
-.PHONY: test bench cov docs workload
+#: The prior baseline `make bench-diff` compares against.
+BENCH_PRIOR ?= BENCH_PR5.json
+
+.PHONY: test bench bench-diff cov docs workload
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -23,6 +27,9 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks -q --benchmark-enable
 	$(PYTHON) scripts/bench_summary.py --output $(BENCH_JSON)
+
+bench-diff:
+	$(PYTHON) scripts/bench_summary.py --output $(BENCH_JSON) --diff $(BENCH_PRIOR)
 
 cov:
 	$(PYTHON) -m pytest tests -q --cov=repro \

@@ -2,23 +2,35 @@
 """Run the perf benchmark matrix and persist a machine-readable baseline.
 
 ``make bench`` invokes this after the pytest benchmark suite to write
-``BENCH_PR5.json``: warm serving throughput (qps, latency percentiles)
+``BENCH_PR6.json``: warm serving throughput (qps, latency percentiles)
 for every executor × shard-count × cache-capacity combination on the
-diverse medium-profile workload, plus the headline speed-up ratios.
-Future PRs diff their numbers against this file instead of re-deriving
-the baseline from prose in old commit messages.
+diverse medium-profile workload — now including the cost-based
+``executor="auto"`` mode — plus the whole-answer result-cache hit path
+and the headline speed-up ratios.  Future PRs diff their numbers against
+this file instead of re-deriving the baseline from prose in old commit
+messages; ``--diff PRIOR.json`` renders that comparison directly.
 
-The matrix is the block-executor benchmark's setting
-(``benchmarks/test_block_executor.py``): bounded cache = the diverse
-serving shape where list (re)builds are hot; full cache = the
-steady-state shape where everything is already sorted.  Equivalence
-across executors is asserted here too — a baseline produced by two
-engines that disagree would be meaningless.
+Methodology: every cell primes once (catalog warm-up plus one untimed
+batch, so list caches reach their steady state) and then keeps the best
+of ``--repeats`` timed batches — single-run numbers on shared hardware
+are noise, and the cost rule's margins (is auto >= the better pinned
+executor?) are exactly where noise bites.  Within each shards ×
+cache-capacity group the three executors' timed batches are
+*interleaved* (tuple, block, auto, tuple, block, auto, ...) rather than
+run back to back, so machine-load drift hits all three equally and the
+auto-vs-pinned ratios compare like with like.  The executor matrix runs with
+the result cache *disabled* so it measures execution strategy, not
+whole-answer reuse; the result cache gets its own section.  Equivalence
+across executors is asserted here too and is always blocking — a
+baseline produced by engines that disagree would be meaningless.  The
+``--diff`` table, by contrast, is informational: CI hardware timing
+drifts, answers must not.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_summary.py --output BENCH_PR5.json
+    PYTHONPATH=src python scripts/bench_summary.py --output BENCH_PR6.json
     PYTHONPATH=src python scripts/bench_summary.py --profile smoke  # quick
+    PYTHONPATH=src python scripts/bench_summary.py --diff BENCH_PR5.json
 """
 
 from __future__ import annotations
@@ -42,69 +54,99 @@ from repro.service import WorkloadRunner  # noqa: E402
 
 # The baseline serves exactly the traffic the asserted benchmark serves —
 # import its query set rather than copying it, so editing the benchmark's
-# traffic can never silently desynchronize BENCH_PR5.json.
+# traffic can never silently desynchronize the baseline JSON.
 from test_block_executor import diverse_queries  # noqa: E402
 
 SEED = 7
 K = 10
 BOUNDED_CACHE = 8
 FULL_CACHE = 2048
+EXECUTORS = ("tuple", "block", "auto")
 
 
-def run_matrix(profile: str, batch_size: int) -> dict:
-    graph = generate_scaled_graph(profile, seed=SEED)
-    workload = Workload(
-        f"bench-{profile}", graph, RuleSet(), diverse_queries(n_predicates=32)
-    )
-    batch = workload.stretched(batch_size)
+def best_timed_run(runner: WorkloadRunner, batch, repeats: int):
+    """Prime once, then the best-qps report of *repeats* timed batches."""
+    runner.run(batch, k=K, mode="warm")  # untimed: warm-up + steady state
+    best = None
+    for _ in range(repeats):
+        report = runner.run(batch, k=K, mode="warm")
+        if best is None or report.queries_per_second > best.queries_per_second:
+            best = report
+    return best
 
+
+def run_matrix(workload: Workload, batch, repeats: int) -> tuple[list, dict]:
     runs: list[dict] = []
     outcomes_by_key: dict[tuple, list] = {}
     for shards in (1, 4):
         for cache_capacity in (BOUNDED_CACHE, FULL_CACHE):
-            for executor in ("tuple", "block"):
-                runner = WorkloadRunner(
+            # Prime all three executors' runners first, then interleave
+            # their timed batches: load drift between back-to-back cells
+            # would otherwise masquerade as an executor effect.
+            runners = {}
+            for executor in EXECUTORS:
+                runners[executor] = WorkloadRunner(
                     workload,
                     cache_capacity=cache_capacity,
                     shards=shards,
                     shard_strategy="score-range",
                     executor=executor,
+                    result_cache_capacity=0,  # measure strategy, not reuse
                 )
-                report = runner.run(batch, k=K, mode="warm")
-                runs.append(
-                    {
-                        "executor": executor,
-                        "shards": shards,
-                        "cache_capacity": cache_capacity,
-                        "qps": round(report.queries_per_second, 1),
-                        "mean_ms": round(report.mean_latency * 1e3, 3),
-                        "p50_ms": round(report.latency_percentile(50) * 1e3, 3),
-                        "p99_ms": round(report.latency_percentile(99) * 1e3, 3),
-                        "wall_s": round(report.wall_seconds, 3),
-                        "warmup_s": round(report.warmup_seconds, 3),
-                    }
-                )
+                runners[executor].run(batch, k=K, mode="warm")  # untimed
+            best: dict[str, object] = {}
+            for _ in range(repeats):
+                for executor in EXECUTORS:
+                    report = runners[executor].run(batch, k=K, mode="warm")
+                    prior = best.get(executor)
+                    if (
+                        prior is None
+                        or report.queries_per_second
+                        > prior.queries_per_second
+                    ):
+                        best[executor] = report
+            for executor in EXECUTORS:
+                report = best[executor]
+                row = {
+                    "executor": executor,
+                    "shards": shards,
+                    "cache_capacity": cache_capacity,
+                    "qps": round(report.queries_per_second, 1),
+                    "mean_ms": round(report.mean_latency * 1e3, 3),
+                    "p50_ms": round(report.latency_percentile(50) * 1e3, 3),
+                    "p99_ms": round(report.latency_percentile(99) * 1e3, 3),
+                    "wall_s": round(report.wall_seconds, 3),
+                }
+                if executor == "auto":
+                    row["auto_executor_mix"] = report.extras[
+                        "auto_executor_mix"
+                    ]
+                runs.append(row)
                 outcomes_by_key[(shards, cache_capacity, executor)] = [
                     (o.n_answers, o.top_score) for o in report.outcomes
                 ]
+                mix = row.get("auto_executor_mix", "")
                 print(
                     f"shards={shards} cache={cache_capacity:<4d} "
                     f"executor={executor:<5s} "
                     f"{report.queries_per_second:9.1f} qps  "
                     f"p50 {report.latency_percentile(50) * 1e3:7.3f} ms  "
                     f"p99 {report.latency_percentile(99) * 1e3:7.3f} ms"
+                    + (f"  mix={mix}" if mix else "")
                 )
 
-    # Executors must agree before the numbers mean anything.
+    # Executors must agree before the numbers mean anything (blocking).
     for shards in (1, 4):
         for cache_capacity in (BOUNDED_CACHE, FULL_CACHE):
             tuple_rows = outcomes_by_key[(shards, cache_capacity, "tuple")]
-            block_rows = outcomes_by_key[(shards, cache_capacity, "block")]
-            if tuple_rows != block_rows:
-                raise SystemExit(
-                    f"executor outcomes diverge at shards={shards}, "
-                    f"cache={cache_capacity} — baseline aborted"
-                )
+            for executor in ("block", "auto"):
+                other = outcomes_by_key[(shards, cache_capacity, executor)]
+                if other != tuple_rows:
+                    raise SystemExit(
+                        f"executor outcomes diverge ({executor} vs tuple) at "
+                        f"shards={shards}, cache={cache_capacity} — "
+                        "baseline aborted"
+                    )
 
     def qps(shards: int, cache_capacity: int, executor: str) -> float:
         for run in runs:
@@ -133,12 +175,126 @@ def run_matrix(profile: str, batch_size: int) -> dict:
             qps(4, BOUNDED_CACHE, "block") / qps(1, BOUNDED_CACHE, "block"), 2
         ),
     }
+    # The cost rule's acceptance: auto keeps the better pinned pipeline
+    # in every cell (>= 1.0 means it never picked itself into a loss).
+    for shards in (1, 4):
+        for cache_capacity in (BOUNDED_CACHE, FULL_CACHE):
+            best_pinned = max(
+                qps(shards, cache_capacity, "tuple"),
+                qps(shards, cache_capacity, "block"),
+            )
+            speedups[
+                f"auto_over_best_pinned_{shards}shard_"
+                f"{'bounded' if cache_capacity == BOUNDED_CACHE else 'full'}_cache"
+            ] = round(qps(shards, cache_capacity, "auto") / best_pinned, 2)
+    return runs, speedups
+
+
+def run_result_cache_section(workload: Workload, batch, repeats: int) -> dict:
+    """The whole-answer hit path vs uncached steady-state tuple serving.
+
+    Both runners serve the same repeated-query batch at full match-list
+    cache; the uncached one re-executes every repeat, the cached one
+    answers from the result cache.  The ratio is the price of a pipeline
+    walk the cache skips.
+    """
+    uncached = WorkloadRunner(
+        workload,
+        cache_capacity=FULL_CACHE,
+        executor="tuple",
+        result_cache_capacity=0,
+    )
+    base = best_timed_run(uncached, batch, repeats)
+
+    cached = WorkloadRunner(
+        workload, cache_capacity=FULL_CACHE, executor="tuple"
+    )
+    hits = best_timed_run(cached, batch, repeats)
+    if hits.extras["result_cache_hits"] != len(batch):
+        raise SystemExit(
+            f"result-cache section expected an all-hit batch, got "
+            f"{hits.extras['result_cache_hits']}/{len(batch)} hits"
+        )
+    base_rows = [(o.n_answers, o.top_score) for o in base.outcomes]
+    hit_rows = [(o.n_answers, o.top_score) for o in hits.outcomes]
+    if base_rows != hit_rows:
+        raise SystemExit("result-cache answers diverge from uncached — aborted")
+
+    section = {
+        "uncached_tuple_full_cache_qps": round(base.queries_per_second, 1),
+        "warm_hit_qps": round(hits.queries_per_second, 1),
+        "warm_hit_p50_ms": round(hits.latency_percentile(50) * 1e3, 4),
+        "hit_over_uncached": round(
+            hits.queries_per_second / base.queries_per_second, 2
+        ),
+    }
+    print(
+        f"result cache: uncached {base.queries_per_second:9.1f} qps, "
+        f"all-hit {hits.queries_per_second:9.1f} qps "
+        f"({section['hit_over_uncached']}x)"
+    )
+    return section
+
+
+def render_diff(current: dict, prior_path: Path) -> str:
+    """An informational qps table against a prior baseline JSON.
+
+    Matches matrix cells on (executor, shards, cache_capacity); cells
+    only one side has (e.g. the prior file predates ``auto``) are listed
+    as new/dropped.  Never fails the run — timing drifts with hardware,
+    and the blocking guarantees (equivalence, all-hit batches) already
+    ran above.
+    """
+    prior = json.loads(prior_path.read_text())
+    prior_runs = {
+        (r["executor"], r["shards"], r["cache_capacity"]): r
+        for r in prior.get("runs", [])
+    }
+    current_runs = {
+        (r["executor"], r["shards"], r["cache_capacity"]): r
+        for r in current["runs"]
+    }
+    lines = [
+        f"qps vs {prior_path.name} ({prior.get('bench', 'unnamed baseline')}):",
+        f"  {'cell':<34} {'prior':>10} {'now':>10} {'ratio':>7}",
+    ]
+    for key in sorted(current_runs, key=str):
+        executor, shards, cache_capacity = key
+        cell = f"executor={executor} shards={shards} cache={cache_capacity}"
+        now = current_runs[key]["qps"]
+        before = prior_runs.get(key)
+        if before is None:
+            lines.append(f"  {cell:<34} {'—':>10} {now:>10.1f} {'new':>7}")
+            continue
+        ratio = now / before["qps"] if before["qps"] else float("inf")
+        lines.append(
+            f"  {cell:<34} {before['qps']:>10.1f} {now:>10.1f} {ratio:>6.2f}x"
+        )
+    for key in sorted(set(prior_runs) - set(current_runs), key=str):
+        executor, shards, cache_capacity = key
+        cell = f"executor={executor} shards={shards} cache={cache_capacity}"
+        lines.append(
+            f"  {cell:<34} {prior_runs[key]['qps']:>10.1f} {'—':>10} "
+            f"{'gone':>7}"
+        )
+    return "\n".join(lines)
+
+
+def build_summary(profile: str, batch_size: int, repeats: int) -> dict:
+    graph = generate_scaled_graph(profile, seed=SEED)
+    workload = Workload(
+        f"bench-{profile}", graph, RuleSet(), diverse_queries(n_predicates=32)
+    )
+    batch = workload.stretched(batch_size)
+    runs, speedups = run_matrix(workload, batch, repeats)
+    result_cache = run_result_cache_section(workload, batch, repeats)
     return {
-        "bench": "PR5 vectorized block-at-a-time execution engine",
+        "bench": "PR6 versioned result cache + cost-based executor selection",
         "profile": profile,
         "seed": SEED,
         "k": K,
         "batch": batch_size,
+        "repeats": repeats,
         "n_triples": graph.size,
         "environment": {
             "python": platform.python_version(),
@@ -146,6 +302,7 @@ def run_matrix(profile: str, batch_size: int) -> dict:
             "machine": platform.machine(),
         },
         "runs": runs,
+        "result_cache": result_cache,
         "speedups": speedups,
     }
 
@@ -153,20 +310,36 @@ def run_matrix(profile: str, batch_size: int) -> dict:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--output", default=str(REPO_ROOT / "BENCH_PR5.json"), metavar="PATH"
+        "--output", default=str(REPO_ROOT / "BENCH_PR6.json"), metavar="PATH"
     )
     parser.add_argument(
         "--profile", default="medium", choices=("smoke", "medium", "million")
     )
     parser.add_argument("--batch", type=int, default=120)
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed batches per cell; the best is reported (default 3)",
+    )
+    parser.add_argument(
+        "--diff", default=None, metavar="PRIOR.json",
+        help="also print an informational qps comparison against a prior "
+        "baseline file (equivalence checks stay blocking regardless)",
+    )
     args = parser.parse_args(argv)
 
-    summary = run_matrix(args.profile, args.batch)
+    summary = build_summary(args.profile, args.batch, args.repeats)
     output = Path(args.output)
     output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {output} ({output.stat().st_size} bytes)")
     for name, value in summary["speedups"].items():
         print(f"  {name}: {value}x")
+    print(
+        f"  result_cache_hit_over_uncached: "
+        f"{summary['result_cache']['hit_over_uncached']}x"
+    )
+    if args.diff:
+        print()
+        print(render_diff(summary, Path(args.diff)))
     return 0
 
 

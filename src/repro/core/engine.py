@@ -17,9 +17,20 @@ from dataclasses import dataclass
 
 from repro.core.config import EngineConfig
 from repro.core.estimator import ExpectedScoreEstimator
-from repro.core.executor import ExecutionResult, ExecutorKind, PlanExecutor
+from repro.core.executor import (
+    EXECUTOR_MODES,
+    ExecutionResult,
+    ExecutorMode,
+    PlanExecutor,
+)
 from repro.core.plan import QueryPlan
-from repro.core.planner import PlannerDecision, SpecQPPlanner
+from repro.core.planner import (
+    ExecutorChoice,
+    PlannerDecision,
+    SpecQPPlanner,
+    choose_executor,
+)
+from repro.errors import ExecutionError
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.index import MatchListCacheHook
 from repro.kg.sharding import ShardedGraph, ShardStrategy
@@ -101,14 +112,19 @@ class SpecQPEngine:
         ``"hash-subject"`` or ``"score-range"`` (only read when *shards*
         triggers partitioning).
     executor:
-        ``"tuple"`` (the paper's pull-based object pipeline, default) or
+        ``"tuple"`` (the paper's pull-based object pipeline, default),
         ``"block"`` — the vectorized block-at-a-time engine that
         exchanges batches of dictionary-encoded id arrays and decodes
-        only at the top-k sink.  Answers and scores are byte-identical;
-        the block engine is the warm-throughput choice on columnar,
-        sharded and live backends, and silently falls back to the tuple
-        pipeline where it cannot run (object-graph backend, chain
-        relaxations).  See :mod:`repro.operators.block`.
+        only at the top-k sink — or ``"auto"``, which picks tuple vs
+        block *per query* with the catalog-driven cost rule
+        (:func:`~repro.core.planner.choose_executor`: cache-resident
+        short lists → tuple, cold or long rebuilds → block).  Answers
+        and scores are byte-identical under all three; ``"block"`` is
+        the warm-throughput choice on columnar, sharded and live
+        backends and silently falls back to the tuple pipeline where it
+        cannot run (object-graph backend, chain relaxations), while
+        ``"auto"`` keeps the better pipeline everywhere.  See
+        :mod:`repro.operators.block`.
     encoded_cache_capacity:
         Entry bound of the block executor's encoded match-list store
         (``None`` = the executor default).  The service layer passes its
@@ -130,10 +146,14 @@ class SpecQPEngine:
         match_list_cache: MatchListCacheHook | None = None,
         shards: int | None = None,
         shard_strategy: ShardStrategy = "hash-subject",
-        executor: ExecutorKind = "tuple",
+        executor: ExecutorMode = "tuple",
         encoded_cache_capacity: int | None = None,
         encoded_store: "EncodedListStore | None" = None,
     ) -> None:
+        if executor not in EXECUTOR_MODES:
+            raise ExecutionError(
+                f"unknown executor {executor!r}; choose from {EXECUTOR_MODES}"
+            )
         self.config = config or EngineConfig()
         if shards is not None and shards > 1 and not isinstance(graph, ShardedGraph):
             graph = ShardedGraph.from_graph(graph, shards, strategy=shard_strategy)
@@ -162,6 +182,7 @@ class SpecQPEngine:
             relax_all_when_insufficient=self.config.relax_all_when_insufficient,
         )
         self.chain_rules = chain_rules
+        self._executor_mode: ExecutorMode = executor
         executor_kwargs: dict[str, object] = {}
         if encoded_cache_capacity is not None:
             executor_kwargs["encoded_cache_capacity"] = encoded_cache_capacity
@@ -172,14 +193,42 @@ class SpecQPEngine:
             rules,
             self.config.max_relaxations_per_pattern,
             chain_rules=chain_rules,
-            executor=executor,
+            # "auto" resolves per query; the underlying executor carries
+            # both pipelines, so its configured kind only names the
+            # default when no per-call override is passed.
+            executor="block" if executor == "auto" else executor,
             **executor_kwargs,  # type: ignore[arg-type]
         )
 
     @property
-    def executor_kind(self) -> ExecutorKind:
-        """The configured execution strategy (``"tuple"`` or ``"block"``)."""
-        return self.executor.executor
+    def executor_kind(self) -> ExecutorMode:
+        """The configured execution mode (``"tuple"``/``"block"``/``"auto"``)."""
+        return self._executor_mode
+
+    def resolve_executor(self, query: TriplePatternQuery) -> ExecutorChoice:
+        """The concrete pipeline that will serve *query* right now.
+
+        In ``"auto"`` mode this runs the catalog cost rule
+        (:func:`~repro.core.planner.choose_executor`) against the graph's
+        attached match-list cache; pinned modes return a trivial choice.
+        """
+        if self._executor_mode != "auto":
+            kind = self._executor_mode
+            if kind == "block" and not self.executor.can_execute_block():
+                kind = "tuple"
+            return ExecutorChoice(
+                executor=kind,  # type: ignore[arg-type]
+                reason="pinned",
+                resident_patterns=0,
+                total_patterns=len(query.patterns),
+                missing_rows=None,
+            )
+        return choose_executor(
+            query,
+            self.catalog,
+            cache=self.graph.match_list_cache,
+            block_available=self.executor.can_execute_block(),
+        )
 
     # ------------------------------------------------------------------
     def parse(self, text: str) -> TriplePatternQuery:
@@ -198,7 +247,9 @@ class SpecQPEngine:
             query = self.parse(query)
         k = k or self.config.k
         decision = self.planner.plan(query, k)
-        execution = self.executor.execute(decision.plan, k)
+        execution = self.executor.execute(
+            decision.plan, k, executor=self.resolve_executor(query).executor
+        )
         return self._result(decision.plan, decision, decision.planning_seconds, execution)
 
     def query_trinit(
@@ -209,7 +260,9 @@ class SpecQPEngine:
             query = self.parse(query)
         k = k or self.config.k
         plan = QueryPlan.trinit(query)
-        execution = self.executor.execute(plan, k)
+        execution = self.executor.execute(
+            plan, k, executor=self.resolve_executor(query).executor
+        )
         return self._result(plan, None, 0.0, execution)
 
     def query_exact(
@@ -220,7 +273,9 @@ class SpecQPEngine:
             query = self.parse(query)
         k = k or self.config.k
         plan = QueryPlan.exact(query)
-        execution = self.executor.execute(plan, k)
+        execution = self.executor.execute(
+            plan, k, executor=self.resolve_executor(query).executor
+        )
         return self._result(plan, None, 0.0, execution)
 
     # ------------------------------------------------------------------

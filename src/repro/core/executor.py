@@ -45,10 +45,17 @@ from repro.query.answer import Answer
 from repro.relax.chains import ChainRuleSet
 from repro.relax.rules import RuleSet
 
-#: The two execution strategies.
+#: The two concrete execution strategies.
 ExecutorKind = Literal["tuple", "block"]
 
 EXECUTOR_KINDS: tuple[str, ...] = ("tuple", "block")
+
+#: What callers may *request*: a concrete strategy, or ``"auto"`` — the
+#: cost-based mode where the engine picks tuple vs block per query from
+#: the statistics catalog (see :func:`repro.core.planner.choose_executor`).
+ExecutorMode = Literal["tuple", "block", "auto"]
+
+EXECUTOR_MODES: tuple[str, ...] = EXECUTOR_KINDS + ("auto",)
 
 #: Entry bound of the per-executor encoded match-list cache.
 DEFAULT_ENCODED_CACHE_CAPACITY = 512
@@ -118,17 +125,34 @@ class PlanExecutor:
     def executor(self) -> ExecutorKind:
         return self._executor
 
-    def uses_block_path(self) -> bool:
-        """Whether :meth:`execute` will take the vectorized pipeline."""
-        return (
-            self._executor == "block"
-            and self._chain_rules is None
-            and supports_block_execution(self._graph)
-        )
+    def can_execute_block(self) -> bool:
+        """Whether the block pipeline is available at all on this executor
+        (columnar-backed graph, no chain relaxations) — independent of the
+        configured strategy.  The cost-based ``"auto"`` mode consults this
+        before it even scores a query."""
+        return self._chain_rules is None and supports_block_execution(self._graph)
 
-    def execute(self, plan: QueryPlan, k: int) -> ExecutionResult:
-        """Run *plan*, returning the top-k distinct answers by score."""
-        if self.uses_block_path():
+    def uses_block_path(self, executor: ExecutorKind | None = None) -> bool:
+        """Whether :meth:`execute` will take the vectorized pipeline
+        (for the configured strategy, or for the *executor* override)."""
+        kind = executor if executor is not None else self._executor
+        return kind == "block" and self.can_execute_block()
+
+    def execute(
+        self, plan: QueryPlan, k: int, executor: ExecutorKind | None = None
+    ) -> ExecutionResult:
+        """Run *plan*, returning the top-k distinct answers by score.
+
+        *executor* overrides the configured strategy for this call only —
+        the hook the cost-based ``"auto"`` mode uses to route individual
+        queries through either pipeline without rebuilding executors.
+        Answers are byte-identical either way.
+        """
+        if executor is not None and executor not in EXECUTOR_KINDS:
+            raise ExecutionError(
+                f"unknown executor {executor!r}; choose from {EXECUTOR_KINDS}"
+            )
+        if self.uses_block_path(executor):
             return self._execute_block(plan, k)
         return self._execute_tuple(plan, k)
 

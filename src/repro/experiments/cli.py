@@ -217,19 +217,23 @@ def run_workload(args: "argparse.Namespace") -> int:
 
     workload = build_workload(args.dataset, args.scale, args.seed)
     queries = workload.stretched(max(args.min_queries, len(workload.queries)))
+    runner_kwargs: dict = {}
+    if args.result_cache is not None:
+        runner_kwargs["result_cache_capacity"] = args.result_cache
     runner = WorkloadRunner(
         workload,
         n_workers=args.workers,
         shards=args.shards,
         shard_strategy=args.shard_strategy,
         executor=args.executor,
+        **runner_kwargs,
     )
     print(f"# workload: {workload.summary()}")
     print(
         f"# batch: {len(queries)} queries, k={args.k}, mode={args.mode}, "
         f"executor={args.executor}"
     )
-    if args.executor == "block" and args.shards == 1 and not hasattr(
+    if args.executor in ("block", "auto") and args.shards == 1 and not hasattr(
         runner.graph, "store"
     ):
         print(
@@ -315,11 +319,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         "score ranges (default; hottest triples in shard 0)",
     )
     service.add_argument(
-        "--executor", choices=("tuple", "block"), default="tuple",
-        help="execution strategy: tuple-at-a-time operators (default) or "
-        "the vectorized block-at-a-time engine over encoded columns "
-        "(identical answers; faster warm serving on columnar/sharded "
-        "backends)",
+        "--executor", choices=("tuple", "block", "auto"), default="tuple",
+        help="execution strategy: tuple-at-a-time operators (default), "
+        "the vectorized block-at-a-time engine over encoded columns, or "
+        "'auto' to pick per query with the catalog cost rule (identical "
+        "answers under all three)",
+    )
+    service.add_argument(
+        "--result-cache", type=int, default=None, metavar="N",
+        help="capacity of the versioned whole-answer result cache "
+        "(0 disables it; default: the runner's built-in capacity)",
     )
     convert = parser.add_argument_group(
         "convert", "options for the 'convert' storage subcommand (TSV ⇄ snapshot)"

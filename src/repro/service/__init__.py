@@ -5,6 +5,10 @@ one query; this package serves *batches* through one shared substrate:
 
 * :class:`MatchListCache` — bounded, thread-safe, version-aware LRU over
   score-sorted match lists, shared by every query of a batch.
+* :class:`ResultCache` — the same discipline one level up: a versioned
+  whole-answer top-k cache in front of both executors; a hit skips
+  planning and execution entirely (see
+  :mod:`repro.service.result_cache`).
 * :class:`WorkloadRunner` — executes batches sequentially or on a thread
   pool (per-worker engines, shared catalog + cache), warm or cold, and
   takes writes between batches (``apply_updates``: delta-overlay
@@ -26,13 +30,17 @@ Quickstart::
 
 from repro.service.cache import CacheStats, MatchListCache
 from repro.service.report import QueryOutcome, WorkloadReport, percentile
+from repro.service.result_cache import CachedResult, ResultCache, result_key
 from repro.service.runner import WorkloadRunner
 
 __all__ = [
     "CacheStats",
+    "CachedResult",
     "MatchListCache",
     "QueryOutcome",
+    "ResultCache",
     "WorkloadReport",
     "WorkloadRunner",
     "percentile",
+    "result_key",
 ]

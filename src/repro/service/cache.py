@@ -62,6 +62,23 @@ class CacheStats:
             "hit_rate": self.hit_rate,
         }
 
+    def since(self, before: "CacheStats") -> "CacheStats":
+        """Counters attributable to the window after *before* was taken.
+
+        Size and capacity are point-in-time readings, so they come from
+        ``self``; the monotone counters are differenced.  This is how
+        :class:`~repro.service.runner.WorkloadRunner` attributes cache
+        activity (match-list, result, shard caches alike) to one batch.
+        """
+        return CacheStats(
+            hits=self.hits - before.hits,
+            misses=self.misses - before.misses,
+            evictions=self.evictions - before.evictions,
+            invalidations=self.invalidations - before.invalidations,
+            size=self.size,
+            capacity=self.capacity,
+        )
+
 
 class MatchListCache:
     """Thread-safe LRU over score-sorted match lists, keyed by pattern key.

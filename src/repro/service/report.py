@@ -46,6 +46,11 @@ class QueryOutcome:
     n_relaxed: int
     plan: str
     top_score: float = 0.0
+    #: Which pipeline served this query: ``"tuple"``, ``"block"``, or
+    #: ``"cached"`` when the whole-answer result cache answered it
+    #: without executing anything.  Empty for reports predating the
+    #: field (it never affects equality-of-answers comparisons).
+    executor: str = ""
 
     @property
     def plan_kind(self) -> str:
@@ -190,6 +195,20 @@ class WorkloadReport:
                 f"{'plan cache':<{width}} "
                 f"{self.extras['plan_cache_hits']} hits, "
                 f"{self.extras['plan_cache_size']} plans"
+            )
+        if "result_cache_hits" in self.extras:
+            lines.append(
+                f"{'result cache':<{width}} "
+                f"{self.extras['result_cache_hits']} hits / "
+                f"{self.extras['result_cache_misses']} misses "
+                f"({self.extras['result_cache_size']} answers cached)"
+            )
+        if "auto_executor_mix" in self.extras:
+            mix = self.extras["auto_executor_mix"]
+            lines.append(
+                f"{'auto executor mix':<{width}} "
+                f"tuple={mix['tuple']} block={mix['block']} "
+                f"cached={mix['cached']}"
             )
         if "updates_applied" in self.extras:
             lines.append(

@@ -34,8 +34,9 @@ from typing import Iterable, Literal, Sequence
 from repro.core.config import EngineConfig
 from repro.core.engine import QueryResult, SpecQPEngine
 from repro.core.executor import (
-    EXECUTOR_KINDS,
+    EXECUTOR_MODES,
     ExecutorKind,
+    ExecutorMode,
     supports_block_execution,
 )
 from repro.datasets.workload import Workload
@@ -43,9 +44,16 @@ from repro.errors import ExperimentError
 from repro.kg.delta import GraphUpdate, LiveGraph
 from repro.kg.sharding import ShardedGraph, ShardStrategy
 from repro.operators.block import EncodedListStore
+from repro.query.answer import Answer
 from repro.query.query import TriplePatternQuery
 from repro.service.cache import DEFAULT_CAPACITY, CacheStats, MatchListCache
 from repro.service.report import QueryOutcome, WorkloadReport
+from repro.service.result_cache import (
+    DEFAULT_RESULT_CAPACITY,
+    CachedResult,
+    ResultCache,
+    result_key,
+)
 from repro.stats.catalog import StatisticsCatalog
 
 CacheMode = Literal["warm", "cold"]
@@ -137,16 +145,30 @@ class WorkloadRunner:
         auto-compacts into a fresh base once it holds this many pending
         mutations (``None`` = only explicit compaction).
     executor:
-        ``"tuple"`` or ``"block"`` — the execution strategy every worker
-        engine uses (see :class:`~repro.core.engine.SpecQPEngine`).
-        ``"block"`` is the warm-throughput choice on columnar/sharded
-        backends; answers are byte-identical either way.  The attribute
-        is settable on a live runner (worker engines are rebuilt, and
-        the plan cache keys on the executor kind, so toggling never
-        replays state built for the other strategy); the setter takes
-        the same writer gate as :meth:`apply_updates`, so it waits for
-        in-flight batches — every batch runs, and is reported, under
-        exactly one strategy.  Do not toggle from inside a batch.
+        ``"tuple"``, ``"block"`` or ``"auto"`` — the execution strategy
+        every worker engine uses (see
+        :class:`~repro.core.engine.SpecQPEngine`).  ``"block"`` is the
+        warm-throughput choice on columnar/sharded backends; ``"auto"``
+        resolves tuple vs block *per query* with the catalog cost rule
+        (:func:`~repro.core.planner.choose_executor`) — cache-resident
+        short lists stream through the tuple pipeline, cold or long
+        rebuilds vectorize — and records the mix in the report extras.
+        Answers are byte-identical under all three.  The attribute is
+        settable on a live runner (worker engines are rebuilt, and the
+        plan cache keys on the executor kind, so toggling never replays
+        state built for the other strategy); the setter takes the same
+        writer gate as :meth:`apply_updates`, so it waits for in-flight
+        batches — every batch runs, and is reported, under exactly one
+        strategy.  Do not toggle from inside a batch.
+    result_cache_capacity:
+        Entry bound of the versioned whole-answer
+        :class:`~repro.service.result_cache.ResultCache` in front of
+        both executors: a warm repeat of ``(query, k)`` at an unchanged
+        graph version skips planning and execution entirely.  ``0``
+        disables result caching (every query executes).  Invalidation is
+        driven by the graph's monotone version counter plus the
+        :meth:`apply_updates` writer gate, so a cached hit is always an
+        answer the current graph version would produce.
 
     The runner assumes the graph is not mutated *during* a batch, and
     :meth:`apply_updates` enforces that: batches and update batches go
@@ -171,15 +193,20 @@ class WorkloadRunner:
         shards: int = 1,
         shard_strategy: ShardStrategy = "score-range",
         compact_threshold: int | None = None,
-        executor: ExecutorKind = "tuple",
+        executor: ExecutorMode = "tuple",
+        result_cache_capacity: int = DEFAULT_RESULT_CAPACITY,
     ) -> None:
         if n_workers < 1:
             raise ExperimentError(f"n_workers must be >= 1, got {n_workers}")
         if shards < 1:
             raise ExperimentError(f"shards must be >= 1, got {shards}")
-        if executor not in EXECUTOR_KINDS:
+        if executor not in EXECUTOR_MODES:
             raise ExperimentError(
-                f"unknown executor {executor!r}; choose from {EXECUTOR_KINDS}"
+                f"unknown executor {executor!r}; choose from {EXECUTOR_MODES}"
+            )
+        if result_cache_capacity < 0:
+            raise ExperimentError(
+                f"result_cache_capacity must be >= 0, got {result_cache_capacity}"
             )
         self.workload = workload
         self.config = config or EngineConfig()
@@ -198,7 +225,25 @@ class WorkloadRunner:
         self.cache = MatchListCache(cache_capacity)
         self.plan_cache = plan_cache
         self.compact_threshold = compact_threshold
-        self._executor: ExecutorKind = executor
+        self._executor: ExecutorMode = executor
+        #: The whole-answer cache in front of both executors (``None``
+        #: when disabled).  Keys fold in the *plan signature* below, so
+        #: an entry can only ever be replayed under the exact planning
+        #: inputs that produced it.
+        self.result_cache: ResultCache | None = (
+            ResultCache(result_cache_capacity) if result_cache_capacity else None
+        )
+        # Everything besides (query, k, graph version) that determines
+        # the answers: the rule set's content and the planner-relevant
+        # config.  Rules and config are fixed for a runner's lifetime
+        # (like the plan cache, the runner does not support mutating the
+        # workload's RuleSet in place), so this is computed once.  The
+        # executor is deliberately absent — answers are byte-identical
+        # across pipelines, one entry serves them all.
+        self._plan_signature = (
+            frozenset(workload.rules),
+            self.config,
+        )
         #: The block twin of :attr:`cache`, shared by every worker
         #: engine: one bounded store of encoded (id-column) match lists,
         #: so a pattern is encoded once per graph version per runner.
@@ -216,6 +261,7 @@ class WorkloadRunner:
             "update_removes_absent": 0,
             "update_compactions": 0,
             "update_cache_purged": 0,
+            "update_results_purged": 0,
             "update_seconds": 0.0,
         }
 
@@ -228,15 +274,15 @@ class WorkloadRunner:
         return self._graph
 
     @property
-    def executor(self) -> ExecutorKind:
+    def executor(self) -> ExecutorMode:
         """The execution strategy worker engines use (settable)."""
         return self._executor
 
     @executor.setter
-    def executor(self, kind: ExecutorKind) -> None:
-        if kind not in EXECUTOR_KINDS:
+    def executor(self, kind: ExecutorMode) -> None:
+        if kind not in EXECUTOR_MODES:
             raise ExperimentError(
-                f"unknown executor {kind!r}; choose from {EXECUTOR_KINDS}"
+                f"unknown executor {kind!r}; choose from {EXECUTOR_MODES}"
             )
         # Take the writer side of the batch gate — the serialization
         # :meth:`apply_updates` uses: in-flight batches finish on the old
@@ -277,7 +323,7 @@ class WorkloadRunner:
             selectivity_mode=self.config.selectivity_mode,  # type: ignore[arg-type]
         )
         self._catalog.precompute(queries=queries)
-        if self._executor == "block" and supports_block_execution(self.graph):
+        if self._pre_encodes_blocks():
             # The block twin of the precompute above: encode the
             # workload's patterns into the shared store up front, so the
             # first measured batch starts as warm as the tuple path
@@ -288,6 +334,20 @@ class WorkloadRunner:
         self._plans.clear()
         self._local = threading.local()  # engines built on the old catalog die
         return time.perf_counter() - started
+
+    def _pre_encodes_blocks(self) -> bool:
+        """Whether warm-up should pre-encode the workload's patterns.
+
+        Gated on the *effective* executor: a runner pinned to
+        ``"tuple"`` never touches the block pipeline, so pre-encoding
+        would only inflate ``warmup_seconds`` for lists no query reads.
+        ``"block"`` and ``"auto"`` (which may route any query through
+        the block pipeline) pre-encode whenever the backend supports
+        block execution at all.
+        """
+        return self._executor in ("block", "auto") and supports_block_execution(
+            self.graph
+        )
 
     def _worker_engine(self) -> SpecQPEngine:
         """The calling thread's engine over the shared catalog and cache."""
@@ -337,8 +397,13 @@ class WorkloadRunner:
             self.graph.attach_match_list_cache(self.cache)
         stats_before = self.cache.stats()
         plan_hits_before = self._plan_hits
+        result_before = (
+            self.result_cache.stats() if self.result_cache is not None else None
+        )
         encoded_before = (
-            self.encoded_store.stats() if self._executor == "block" else None
+            self.encoded_store.stats()
+            if self._executor in ("block", "auto")
+            else None
         )
         shard_stats_before = (
             self.graph.shard_cache_stats() if self.shards > 1 else None
@@ -357,6 +422,20 @@ class WorkloadRunner:
             "plan_cache_hits": self._plan_hits - plan_hits_before,
             "plan_cache_size": len(self._plans),
         }
+        if self._executor == "auto":
+            # Per-query cost-rule decisions, recounted from the outcomes
+            # themselves (each row records which pipeline served it), so
+            # the mix needs no extra locking on the hot path.
+            mix = {"tuple": 0, "block": 0, "cached": 0}
+            for outcome in outcomes:
+                if outcome.executor in mix:
+                    mix[outcome.executor] += 1
+            extras["auto_executor_mix"] = mix
+        if result_before is not None:
+            result_delta = self.result_cache.stats().since(result_before)
+            extras["result_cache_hits"] = result_delta.hits
+            extras["result_cache_misses"] = result_delta.misses
+            extras["result_cache_size"] = result_delta.size
         if encoded_before is not None:
             encoded_after = self.encoded_store.stats()
             extras["encoded_list_hits"] = (
@@ -413,38 +492,112 @@ class WorkloadRunner:
             dataset=self.workload.name,
         )
 
-    def _execute_warm(self, query: TriplePatternQuery, k: int) -> QueryOutcome:
-        """One query over the shared substrate, through the plan cache.
+    def execute_query(
+        self, query: TriplePatternQuery, k: int | None = None
+    ) -> tuple[Answer, ...]:
+        """One query through the full warm substrate, answers included.
 
-        Structurally identical queries (names aside, order aside — queries
-        have set semantics) share one PLANGEN decision.  The cached plan
-        carries its own query object with the same patterns and
-        projection, so execution is unaffected.
+        The single-query twin of ``run(mode="warm")``: same reader gate,
+        same result cache, plan cache and per-worker engine — but the
+        return value is the complete top-k answer tuple rather than a
+        report row, which is what equivalence tests and callers that
+        need the bindings themselves want.
+        """
+        k = k or self.config.k
+        with self._gate.reader():
+            if self._catalog is None or self._catalog_version != self.graph.version:
+                self.warm_up()
+            else:
+                self.graph.attach_match_list_cache(self.cache)
+            return self._serve_warm(query, k)[1]
+
+    def _execute_warm(self, query: TriplePatternQuery, k: int) -> QueryOutcome:
+        return self._serve_warm(query, k)[0]
+
+    def _serve_warm(
+        self, query: TriplePatternQuery, k: int
+    ) -> tuple[QueryOutcome, tuple[Answer, ...]]:
+        """One query over the shared substrate, through every cache level.
+
+        Checked in cost order: the whole-answer result cache first (a
+        hit skips planning and execution entirely), then the plan cache
+        (structurally identical queries — names aside, order aside,
+        queries have set semantics — share one PLANGEN decision; the
+        cached plan carries its own query object with the same patterns
+        and projection, so execution is unaffected), then execution
+        through the executor the runner is pinned to — or, in ``"auto"``
+        mode, the one the cost rule picked when the plan-cache entry was
+        built (resolution rides the plan cache, so a steady-state repeat
+        pays nothing for the choice; every invalidation that clears the
+        plan cache re-runs the rule against the new cache state).
         """
         engine = self._worker_engine()
         started = time.perf_counter()
+        rkey = None
+        version = 0
+        if self.result_cache is not None:
+            # Capture the version BEFORE doing any work: if a writer
+            # lands mid-flight (impossible through apply_updates, which
+            # waits out the batch, but possible for external mutators),
+            # the put below tags the entry with the superseded version
+            # and the next get discards it — stale answers cannot stick.
+            version = self.graph.version
+            rkey = result_key(query, k, self._plan_signature)
+            cached = self.result_cache.get(rkey, version)
+            if cached is not None:
+                seconds = time.perf_counter() - started
+                outcome = QueryOutcome(
+                    query_name=query.name or str(query),
+                    k=k,
+                    n_patterns=len(query),
+                    seconds=seconds,
+                    n_answers=len(cached.answers),
+                    n_relaxed=cached.n_relaxed,
+                    plan=cached.plan,
+                    top_score=cached.top_score,
+                    executor="cached",
+                )
+                return outcome, cached.answers
         plan = None
+        kind: ExecutorKind | None = None
         if self.plan_cache:
-            # The executor kind is part of the key: plans are built per
+            # The executor *mode* is part of the key: plans are built per
             # strategy, so toggling ``executor=`` on a shared runner can
-            # never replay a plan cached for the other pipeline.
+            # never replay a plan cached for the other pipeline.  The
+            # entry carries the resolved concrete kind alongside the
+            # plan: in ``"auto"`` mode the cost rule runs once per entry
+            # (per plan-cache generation — updates clear it), so steady
+            # state repeats pay nothing for the per-query choice.
             key = (frozenset(query.patterns), query.projection, k, self._executor)
             with self._plan_lock:
-                plan = self._plans.get(key)
-                if plan is not None:
+                entry = self._plans.get(key)
+                if entry is not None:
+                    plan, kind = entry
                     self._plans.move_to_end(key)
                     self._plan_hits += 1
         if plan is None:
+            kind = engine.resolve_executor(query).executor
             plan = engine.planner.plan(query, k).plan
             if self.plan_cache:
                 with self._plan_lock:
-                    self._plans[key] = plan
+                    self._plans[key] = (plan, kind)
                     self._plans.move_to_end(key)
                     while len(self._plans) > self.cache.capacity:
                         self._plans.popitem(last=False)
-        execution = engine.executor.execute(plan, k)  # type: ignore[arg-type]
+        execution = engine.executor.execute(plan, k, executor=kind)
+        if rkey is not None:
+            self.result_cache.put(
+                rkey,
+                version,
+                CachedResult(
+                    answers=execution.answers,
+                    n_relaxed=plan.n_relaxed,  # type: ignore[union-attr]
+                    plan=plan.describe(),  # type: ignore[union-attr]
+                    executor=str(kind),
+                ),
+            )
         seconds = time.perf_counter() - started
-        return QueryOutcome(
+        outcome = QueryOutcome(
             query_name=query.name or str(query),
             k=k,
             n_patterns=len(query),
@@ -453,7 +606,9 @@ class WorkloadRunner:
             n_relaxed=plan.n_relaxed,  # type: ignore[union-attr]
             plan=plan.describe(),  # type: ignore[union-attr]
             top_score=execution.answers[0].score if execution.answers else 0.0,
+            executor=str(kind),
         )
+        return outcome, execution.answers
 
     @staticmethod
     def _execute(engine: SpecQPEngine, query: TriplePatternQuery, k: int) -> QueryOutcome:
@@ -467,6 +622,7 @@ class WorkloadRunner:
             n_relaxed=result.plan.n_relaxed,
             plan=result.plan.describe(),
             top_score=result.answers[0].score if result.answers else 0.0,
+            executor=str(engine.executor_kind),
         )
 
     # ------------------------------------------------------------------
@@ -505,6 +661,11 @@ class WorkloadRunner:
                 frozen.detach_match_list_cache()
                 self.cache.release(frozen)
                 self.encoded_store.release(frozen)
+                if self.result_cache is not None:
+                    # Entries describe the frozen graph object; the live
+                    # wrapper continues its version counter, so only a
+                    # full clear (not a version sweep) is safe here.
+                    self.result_cache.clear()
                 self._graph = LiveGraph(
                     frozen, compact_threshold=self.compact_threshold
                 )
@@ -520,6 +681,11 @@ class WorkloadRunner:
             if compact:
                 live.compact()
             purged = self.cache.purge_stale(live.version)
+            results_purged = (
+                self.result_cache.purge_stale(live.version)
+                if self.result_cache is not None
+                else 0
+            )
             with self._plan_lock:
                 self._plans.clear()
             if self._catalog is not None:
@@ -530,6 +696,7 @@ class WorkloadRunner:
                 **counts,
                 "compacted": live.compactions > compactions_before,
                 "cache_purged": purged,
+                "result_cache_purged": results_purged,
                 "seconds": seconds,
                 "graph_version": live.version,
             }
@@ -538,6 +705,7 @@ class WorkloadRunner:
             self._updates["update_removes_absent"] += counts["absent_removes"]
             self._updates["update_compactions"] = live.compactions
             self._updates["update_cache_purged"] += purged
+            self._updates["update_results_purged"] += results_purged
             self._updates["update_seconds"] += seconds
             return result
 
@@ -565,14 +733,7 @@ class WorkloadRunner:
     @staticmethod
     def _stats_delta(before: CacheStats, after: CacheStats) -> CacheStats:
         """Cache counters attributable to this batch alone."""
-        return CacheStats(
-            hits=after.hits - before.hits,
-            misses=after.misses - before.misses,
-            evictions=after.evictions - before.evictions,
-            invalidations=after.invalidations - before.invalidations,
-            size=after.size,
-            capacity=after.capacity,
-        )
+        return after.since(before)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         sharding = (

@@ -122,14 +122,17 @@ class TestWorkloadRunnerExecutor:
     ):
         """Plan-cache keys include the executor kind, so toggling
         ``executor=`` on one shared runner keeps both strategies' plans
-        apart (and the answers identical)."""
+        apart (and the answers identical).  The result cache is disabled
+        here — it is executor-independent by design, so with it on the
+        toggled batches would be served whole and never reach the plan
+        cache this test is about."""
         workload = Workload(
             "block-toggle",
             ColumnarGraph(store_graph.store, name="eq"),
             tiny_xkg_workload.rules,
             tiny_xkg_workload.queries,
         )
-        runner = WorkloadRunner(workload, executor="tuple")
+        runner = WorkloadRunner(workload, executor="tuple", result_cache_capacity=0)
         queries = workload.queries[:4]
         first = runner.run(queries, k=5)
         plans_after_tuple = first.extras["plan_cache_size"]

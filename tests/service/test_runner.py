@@ -47,7 +47,9 @@ def test_warm_run_reports_whole_batch(tiny_xkg_workload):
 
 
 def test_repeated_queries_hit_both_caches(tiny_xkg_workload):
-    runner = WorkloadRunner(tiny_xkg_workload)
+    # Result cache off: with it on, repeats are served whole answers and
+    # never reach the plan cache this test measures.
+    runner = WorkloadRunner(tiny_xkg_workload, result_cache_capacity=0)
     queries = tiny_xkg_workload.stretched(3 * len(tiny_xkg_workload.queries))
     report = runner.run(queries, k=5)
 
