@@ -6,6 +6,7 @@
 #   make cov     tests with line coverage + the CI floor (needs pytest-cov)
 #   make docs    docs link + snippet import check, run every runnable doc surface
 #   make workload  demo the batch-serving layer (cold vs warm)
+#   make scenarios  build + validate every scenario pack, run the slow matrix
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -19,7 +20,7 @@ BENCH_JSON ?= BENCH_PR6.json
 #: The prior baseline `make bench-diff` compares against.
 BENCH_PRIOR ?= BENCH_PR5.json
 
-.PHONY: test bench bench-diff cov docs workload
+.PHONY: test bench bench-diff cov docs workload scenarios
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -47,3 +48,7 @@ docs:
 
 workload:
 	$(PYTHON) -m repro.experiments workload --scale small --mode both
+
+scenarios:
+	$(PYTHON) scripts/validate_scenarios.py
+	$(PYTHON) -m pytest tests -q -m slow_scenario

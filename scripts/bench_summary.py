@@ -236,6 +236,74 @@ def run_result_cache_section(workload: Workload, batch, repeats: int) -> dict:
     return section
 
 
+def run_scenario_section(name: str, repeats: int) -> dict:
+    """One scenario pack through the executor matrix, equivalence blocking.
+
+    The pack is served from its columnar conversion (so ``block`` really
+    vectorizes instead of falling back to the tuple pipeline), at the
+    pack's own ``k``.  All three executors must produce identical
+    outcome rows — on the adversarial packs this is exactly the
+    boundary-tie / edge-of-k regime the canonical tie cut exists for, so
+    a divergence here aborts the baseline.  Update-carrying packs replay
+    their stream and re-assert equivalence on the post-update version.
+    """
+    from repro.datasets import build_scenario
+    from repro.kg.columnar import ColumnarGraph
+
+    pack = build_scenario(name)
+    columnar = Workload(
+        pack.workload.name,
+        ColumnarGraph.from_graph(pack.workload.graph),
+        pack.workload.rules,
+        pack.workload.queries,
+    )
+    batch = list(columnar.queries)
+    section: dict = {"manifest": pack.manifest()}
+    runners = {}
+    for executor in EXECUTORS:
+        runners[executor] = WorkloadRunner(
+            columnar,
+            cache_capacity=FULL_CACHE,
+            executor=executor,
+            result_cache_capacity=0,
+        )
+        runners[executor].run(batch, k=pack.k, mode="warm")  # untimed
+    outcomes = {}
+    for executor in EXECUTORS:
+        best = None
+        for _ in range(repeats):
+            report = runners[executor].run(batch, k=pack.k, mode="warm")
+            if best is None or report.queries_per_second > best.queries_per_second:
+                best = report
+        outcomes[executor] = [(o.n_answers, o.top_score) for o in best.outcomes]
+        section[f"{executor}_qps"] = round(best.queries_per_second, 1)
+        print(
+            f"scenario={name:<24s} executor={executor:<5s} "
+            f"{best.queries_per_second:9.1f} qps"
+        )
+    for executor in ("block", "auto"):
+        if outcomes[executor] != outcomes["tuple"]:
+            raise SystemExit(
+                f"scenario {name}: executor outcomes diverge "
+                f"({executor} vs tuple) — baseline aborted"
+            )
+    if pack.updates:
+        post = {}
+        for executor in EXECUTORS:
+            runner = runners[executor]
+            counts = runner.apply_updates(list(pack.updates))
+            report = runner.run(batch, k=pack.k, mode="warm")
+            post[executor] = [(o.n_answers, o.top_score) for o in report.outcomes]
+            section["updates_applied"] = counts["adds"] + counts["removes"]
+        for executor in ("block", "auto"):
+            if post[executor] != post["tuple"]:
+                raise SystemExit(
+                    f"scenario {name}: post-update outcomes diverge "
+                    f"({executor} vs tuple) — baseline aborted"
+                )
+    return section
+
+
 def render_diff(current: dict, prior_path: Path) -> str:
     """An informational qps table against a prior baseline JSON.
 
@@ -280,7 +348,10 @@ def render_diff(current: dict, prior_path: Path) -> str:
     return "\n".join(lines)
 
 
-def build_summary(profile: str, batch_size: int, repeats: int) -> dict:
+def build_summary(
+    profile: str, batch_size: int, repeats: int,
+    scenarios: list[str] | None = None,
+) -> dict:
     graph = generate_scaled_graph(profile, seed=SEED)
     workload = Workload(
         f"bench-{profile}", graph, RuleSet(), diverse_queries(n_predicates=32)
@@ -288,7 +359,10 @@ def build_summary(profile: str, batch_size: int, repeats: int) -> dict:
     batch = workload.stretched(batch_size)
     runs, speedups = run_matrix(workload, batch, repeats)
     result_cache = run_result_cache_section(workload, batch, repeats)
-    return {
+    scenario_sections = {
+        name: run_scenario_section(name, repeats) for name in scenarios or []
+    }
+    summary = {
         "bench": "PR6 versioned result cache + cost-based executor selection",
         "profile": profile,
         "seed": SEED,
@@ -305,6 +379,9 @@ def build_summary(profile: str, batch_size: int, repeats: int) -> dict:
         "result_cache": result_cache,
         "speedups": speedups,
     }
+    if scenario_sections:
+        summary["scenarios"] = scenario_sections
+    return summary
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -325,9 +402,18 @@ def main(argv: list[str] | None = None) -> int:
         help="also print an informational qps comparison against a prior "
         "baseline file (equivalence checks stay blocking regardless)",
     )
+    parser.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        dest="scenarios",
+        help="also run the named scenario pack through the executor matrix "
+        "(repeatable; equivalence is blocking, incl. post-update); adds a "
+        "per-scenario section to the JSON",
+    )
     args = parser.parse_args(argv)
 
-    summary = build_summary(args.profile, args.batch, args.repeats)
+    summary = build_summary(
+        args.profile, args.batch, args.repeats, scenarios=args.scenarios
+    )
     output = Path(args.output)
     output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {output} ({output.stat().st_size} bytes)")

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Generate every scenario pack and validate it against the golden manifests.
+
+``make scenarios`` runs this before the slow scenario test sweep: each
+shipped pack is rebuilt from its frozen seed, structurally validated
+(:meth:`ScenarioPack.validate`), and its manifest — triple/query/update
+counts plus the sha256 content checksum — is compared against
+``tests/datasets/golden_scenarios.json``.  Any generator drift (a numpy
+upgrade changing a distribution method, an edit to a schema or intent)
+fails here with a per-field diff before a human ever wonders why a
+benchmark moved.
+
+``--write`` regenerates the golden file after an *intentional* generator
+change; the diff then shows up in review next to the change that caused
+it.
+
+Usage::
+
+    PYTHONPATH=src python scripts/validate_scenarios.py
+    PYTHONPATH=src python scripts/validate_scenarios.py --write
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.datasets import build_all_scenarios  # noqa: E402
+
+GOLDEN_PATH = REPO_ROOT / "tests" / "datasets" / "golden_scenarios.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write", action="store_true",
+        help="regenerate the golden manifest file instead of checking it",
+    )
+    parser.add_argument(
+        "--golden", default=str(GOLDEN_PATH), metavar="PATH",
+        help="golden manifest file (default: tests/datasets/golden_scenarios.json)",
+    )
+    args = parser.parse_args(argv)
+    golden_path = Path(args.golden)
+
+    packs = build_all_scenarios()
+    manifests = {name: pack.manifest() for name, pack in packs.items()}
+    failures: list[str] = []
+    for name, pack in packs.items():
+        problems = pack.validate()
+        failures += [f"{name}: {p}" for p in problems]
+        m = manifests[name]
+        print(
+            f"{name:<26s} triples={m['triples']:<6d} queries={m['queries']:<4d} "
+            f"updates={m['updates']:<4d} rules={m['rules']:<4d} "
+            f"checksum={m['checksum']}"
+        )
+
+    if args.write:
+        golden_path.write_text(
+            json.dumps(manifests, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"\nwrote {golden_path}")
+    else:
+        golden = json.loads(golden_path.read_text())
+        for name in sorted(set(golden) | set(manifests)):
+            if name not in manifests:
+                failures.append(f"{name}: in golden file but no longer shipped")
+                continue
+            if name not in golden:
+                failures.append(f"{name}: shipped but missing from golden file")
+                continue
+            for field, expected in golden[name].items():
+                actual = manifests[name].get(field)
+                if actual != expected:
+                    failures.append(
+                        f"{name}: {field} drifted "
+                        f"(golden {expected!r}, built {actual!r})"
+                    )
+
+    if failures:
+        print("\nscenario validation FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print(
+            "\n(after an intentional generator change, regenerate with "
+            "`python scripts/validate_scenarios.py --write`)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\n{len(packs)} packs OK against {golden_path.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

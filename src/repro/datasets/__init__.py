@@ -12,8 +12,19 @@ relaxing.  See DESIGN.md §3 for the substitution rationale.
 * :func:`~repro.datasets.synthetic.generate_scaled_graph` — columnar
   scale-test graphs up to the :data:`~repro.datasets.synthetic.SCALE_PROFILES`
   ``million`` profile (storage benchmarks, no query workload).
+* :func:`~repro.datasets.scenarios.build_scenario` — named, seed-deterministic
+  :class:`~repro.datasets.scenarios.ScenarioPack` coverage workloads
+  (four domains × intents × augmentation, incl. adversarial shapes).
 """
 
+from repro.datasets.scenarios import (
+    SCENARIOS,
+    ScenarioPack,
+    ScenarioSpec,
+    build_all_scenarios,
+    build_scenario,
+    scenario_names,
+)
 from repro.datasets.synthetic import SCALE_PROFILES, ScaleProfile, generate_scaled_graph
 from repro.datasets.twitter import TwitterConfig, generate_twitter
 from repro.datasets.workload import Workload
@@ -21,11 +32,17 @@ from repro.datasets.xkg import XKGConfig, generate_xkg
 
 __all__ = [
     "SCALE_PROFILES",
+    "SCENARIOS",
     "ScaleProfile",
+    "ScenarioPack",
+    "ScenarioSpec",
     "TwitterConfig",
     "Workload",
     "XKGConfig",
+    "build_all_scenarios",
+    "build_scenario",
     "generate_scaled_graph",
     "generate_twitter",
     "generate_xkg",
+    "scenario_names",
 ]

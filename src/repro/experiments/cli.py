@@ -7,8 +7,10 @@ Examples::
     spec-qp fig7 --dataset xkg --ks 10 20
     spec-qp workload --min-queries 200 --workers 4 --mode both
     spec-qp workload --shards 4 --shard-strategy score-range
+    spec-qp workload --scenario adversarial-ties --executor auto
     spec-qp convert --input graph.tsv --output graph.npz
     spec-qp update --input graph.npz --updates edits.tsv --output graph2.npz
+    spec-qp update --scenario social-update-heavy
 """
 
 from __future__ import annotations
@@ -21,8 +23,10 @@ from repro.datasets import (
     TwitterConfig,
     Workload,
     XKGConfig,
+    build_scenario,
     generate_twitter,
     generate_xkg,
+    scenario_names,
 )
 from repro.errors import ExperimentError
 from repro.experiments import table2, table3, table4
@@ -185,8 +189,12 @@ def run_update(args: "argparse.Namespace") -> int:
     from repro.kg import storage
     from repro.kg.delta import LiveGraph
 
+    if args.scenario:
+        return _run_scenario_update(args)
     if not args.input or not args.updates or not args.output:
-        raise ExperimentError("update requires --input, --updates and --output")
+        raise ExperimentError(
+            "update requires --input, --updates and --output (or --scenario)"
+        )
     out_format = _storage_format(args.output)
     started = time.perf_counter()
     try:
@@ -211,11 +219,66 @@ def run_update(args: "argparse.Namespace") -> int:
     return 0
 
 
+def _run_scenario_update(args: "argparse.Namespace") -> int:
+    """``update --scenario NAME``: drive the pack's own update stream.
+
+    Streams the pack's generated mutations over its graph through the
+    same :class:`~repro.kg.delta.LiveGraph` path the file-based update
+    command uses, then compacts; ``--output`` optionally persists the
+    post-update graph.  The pack's graph and stream are seed-deterministic,
+    so this is a reproducible end-to-end smoke of the write path.
+    """
+    import time
+
+    from repro.errors import KnowledgeGraphError
+    from repro.kg import storage
+    from repro.kg.delta import LiveGraph
+
+    pack = build_scenario(args.scenario, seed=args.seed)
+    if not pack.updates:
+        raise ExperimentError(
+            f"scenario {pack.name!r} ships no update stream; "
+            "choose an update-carrying pack (e.g. social-update-heavy)"
+        )
+    started = time.perf_counter()
+    try:
+        live = LiveGraph(
+            pack.workload.graph, compact_threshold=args.compact_threshold
+        )
+        counts = live.apply_updates(pack.updates)
+        live.compact()
+        result = live.base
+        if args.output:
+            if _storage_format(args.output) == "snapshot":
+                storage.save_snapshot(result, args.output)
+            else:
+                storage.save_tsv(result, args.output)
+    except (KnowledgeGraphError, OSError) as error:
+        raise ExperimentError(f"update failed: {error}") from None
+    seconds = time.perf_counter() - started
+    wrote = f", wrote {args.output}" if args.output else ""
+    print(
+        f"scenario {pack.name} (seed {pack.seed}): applied {counts['adds']} adds "
+        f"/ {counts['removes']} removes ({counts['absent_removes']} absent): "
+        f"{result.size} triples, {live.compactions} compactions{wrote}, "
+        f"{seconds:.2f}s"
+    )
+    return 0
+
+
 def run_workload(args: "argparse.Namespace") -> int:
     """The ``workload`` subcommand: batch serving through the service layer."""
     from repro.service import WorkloadRunner
 
-    workload = build_workload(args.dataset, args.scale, args.seed)
+    pack = None
+    if args.scenario:
+        pack = build_scenario(args.scenario, seed=args.seed)
+        workload = pack.workload
+        print(f"# scenario: {pack.name} (seed {pack.seed}) — {pack.description}")
+    else:
+        workload = build_workload(args.dataset, args.scale, args.seed)
+    if args.k is None:
+        args.k = pack.k if pack else 10
     queries = workload.stretched(max(args.min_queries, len(workload.queries)))
     runner_kwargs: dict = {}
     if args.result_cache is not None:
@@ -266,6 +329,19 @@ def run_workload(args: "argparse.Namespace") -> int:
         report = runner.run(queries, k=args.k, mode=args.mode)
         print()
         print(report.render())
+    if pack is not None and pack.updates and args.mode != "cold":
+        # Update-carrying packs smoke the full serve → write → re-serve
+        # loop: the second warm batch runs on the post-update version.
+        counts = runner.apply_updates(list(pack.updates))
+        print()
+        print(
+            f"# scenario update stream: {counts['adds']} adds / "
+            f"{counts['removes']} removes ({counts['absent_removes']} absent), "
+            f"graph version {counts['graph_version']}"
+        )
+        post = runner.run(queries, k=args.k, mode="warm")
+        print()
+        print(post.render())
     return 0
 
 
@@ -301,7 +377,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="worker threads for warm batches (default 1)",
     )
     service.add_argument(
-        "--k", type=int, default=10, help="top-k per query (default 10)"
+        "--k", type=int, default=None,
+        help="top-k per query (default 10, or the scenario pack's k)",
+    )
+    service.add_argument(
+        "--scenario", choices=scenario_names(), default=None, metavar="NAME",
+        help="serve a named scenario pack instead of --dataset/--scale "
+        "(seed-deterministic coverage workloads; --seed overrides the "
+        "pack's frozen seed; update-carrying packs replay their update "
+        "stream after the batch).  One of: " + ", ".join(scenario_names()),
     )
     service.add_argument(
         "--mode", choices=("warm", "cold", "both"), default="warm",

@@ -1,0 +1,184 @@
+"""Unit + golden-manifest tests for the scenario pack generator.
+
+The golden test is the determinism contract: rebuilding any shipped pack
+from its frozen seed must reproduce the checked-in manifest byte for
+byte (counts and the sha256 content checksum).  An intentional generator
+change regenerates the file with
+``python scripts/validate_scenarios.py --write`` so the golden diff
+lands in review next to the change that caused it.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.scenarios import (
+    DOMAINS,
+    SCENARIOS,
+    DomainSchema,
+    EntityClass,
+    PredicateSpec,
+    ScenarioSpec,
+    TIE_SCORE,
+    build_scenario,
+    scenario_names,
+)
+from repro.errors import DatasetError
+from repro.kg.pattern import TriplePattern, Variable
+
+GOLDEN_PATH = Path(__file__).parent / "golden_scenarios.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def packs():
+    return {name: build_scenario(name) for name in scenario_names()}
+
+
+class TestGoldenManifests:
+    def test_golden_file_covers_exactly_the_registry(self):
+        assert sorted(GOLDEN) == scenario_names()
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_pack_matches_golden_manifest(self, packs, name):
+        assert packs[name].manifest() == GOLDEN[name]
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_pack_validates_clean(self, packs, name):
+        assert packs[name].validate() == []
+
+
+class TestRegistry:
+    def test_names_sorted_and_registered(self):
+        assert scenario_names() == sorted(SCENARIOS)
+        assert len(scenario_names()) >= 10
+
+    def test_every_domain_served_by_a_base_pack(self):
+        domains_with_base = {
+            spec.domain for spec in SCENARIOS.values()
+            if spec.name.endswith("-base")
+        }
+        assert domains_with_base == set(DOMAINS)
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(DatasetError, match="commerce-base"):
+            build_scenario("nope")
+
+    def test_spec_rejects_unknown_domain(self):
+        with pytest.raises(DatasetError, match="unknown domain"):
+            ScenarioSpec("x", "warehouse", "desc")
+
+    def test_spec_rejects_unknown_intent(self):
+        with pytest.raises(DatasetError, match="unknown intent"):
+            ScenarioSpec("x", "commerce", "desc", intents={"teleport": 1})
+
+    def test_spec_rejects_unknown_trait(self):
+        with pytest.raises(DatasetError, match="unknown adversarial trait"):
+            ScenarioSpec("x", "commerce", "desc", adversarial=("chaos",))
+
+    def test_spec_rejects_bad_k(self):
+        with pytest.raises(DatasetError, match="k must be"):
+            ScenarioSpec("x", "commerce", "desc", k=0)
+
+
+class TestSchemaValidation:
+    def test_entity_class_needs_positive_count(self):
+        with pytest.raises(DatasetError, match="count >= 1"):
+            EntityClass("thing", 0)
+
+    def test_predicate_fanout_ordering(self):
+        with pytest.raises(DatasetError, match="fanout"):
+            PredicateSpec("p", "a", "b", fanout=(3, 2))
+
+    def test_schema_rejects_unknown_class_reference(self):
+        with pytest.raises(DatasetError, match="unknown class"):
+            DomainSchema(
+                "d",
+                entities=(EntityClass("a", 2),),
+                predicates=(PredicateSpec("p", "a", "ghost", fanout=(1, 1)),),
+            )
+
+    def test_schema_rejects_duplicate_classes(self):
+        with pytest.raises(DatasetError, match="duplicate entity classes"):
+            DomainSchema(
+                "d",
+                entities=(EntityClass("a", 2), EntityClass("a", 3)),
+                predicates=(),
+            )
+
+
+class TestPackStructure:
+    def test_workload_names_carry_the_pack_name(self, packs):
+        for name, pack in packs.items():
+            assert pack.workload.name == f"scenario:{name}"
+
+    def test_hot_pack_repeats_hot_queries(self, packs):
+        pack = packs["commerce-hot"]
+        repeats = [q for q in pack.workload.queries if "#h" in q.name]
+        assert len(repeats) > len(pack.workload.queries) / 2
+        # Repeats are structurally identical to their origin (set-semantics
+        # equality), which is what makes (query, k) result-cache keys collide.
+        by_origin = {q.name: q for q in pack.workload.queries if "#h" not in q.name}
+        for repeat in repeats:
+            origin = by_origin[repeat.name.split("#h")[0]]
+            assert repeat == origin
+
+    def test_update_packs_stream_touches_queried_constants(self, packs):
+        pack = packs["social-update-heavy"]
+        queried = {
+            (p.predicate, p.object)
+            for q in pack.workload.queries
+            for p in q.patterns
+            if isinstance(p.object, str)
+        }
+        fresh_adds = [
+            u for u in pack.updates
+            if u.op == "+" and u.subject.startswith("fresh")
+        ]
+        assert fresh_adds
+        assert all((u.predicate, u.object) in queried for u in fresh_adds)
+
+    def test_ties_pack_run_straddles_k(self, packs):
+        pack = packs["adversarial-ties"]
+        pattern = TriplePattern(Variable("s"), "adv:tied", "adv:tie-bucket")
+        scores = [t.score for t in pack.workload.graph.match_list(pattern).triples]
+        assert scores.count(TIE_SCORE) > pack.k
+
+    def test_edge_k_pack_has_starved_and_empty_probes(self, packs):
+        pack = packs["adversarial-edge-k"]
+        assert pack.k == 25
+        rare = TriplePattern(Variable("s"), "adv:rare", "adv:rare-bucket")
+        assert 0 < pack.workload.graph.count(rare) < pack.k
+        absent = TriplePattern(Variable("s"), "adv:rare", "adv:absent-bucket")
+        assert pack.workload.graph.count(absent) == 0
+
+    def test_every_pack_mines_rules(self, packs):
+        for name, pack in packs.items():
+            assert len(pack.workload.rules) > 0, name
+
+
+class TestExport:
+    def test_export_line_sections_ordered(self, packs):
+        pack = packs["social-update-heavy"]
+        kinds = [line.split("\t", 1)[0] for line in pack.export_lines()]
+        assert set(kinds) == {"T", "Q", "U"}
+        assert kinds == sorted(kinds, key="TQU".index)
+        manifest = pack.manifest()
+        assert kinds.count("T") == manifest["triples"]
+        assert kinds.count("Q") == manifest["queries"]
+        assert kinds.count("U") == manifest["updates"]
+
+    def test_triple_lines_sorted(self, packs):
+        lines = [
+            line for line in packs["geo-base"].export_lines()
+            if line.startswith("T\t")
+        ]
+        assert lines == sorted(lines)
+
+    def test_seed_override_changes_content_not_contract(self):
+        default = build_scenario("media-base")
+        reseeded = build_scenario("media-base", seed=5)
+        assert reseeded.checksum() != default.checksum()
+        assert reseeded.validate() == []
+        assert reseeded.manifest()["seed"] == 5

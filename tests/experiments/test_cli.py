@@ -224,3 +224,79 @@ class TestUpdate:
         )
         assert code == 2
         assert "update op" in capsys.readouterr().err
+
+
+class TestScenarioFlag:
+    def test_workload_serves_a_pack(self, capsys):
+        code = main(
+            ["workload", "--scenario", "adversarial-ties", "--min-queries", "0"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "# scenario: adversarial-ties (seed 809)" in printed
+        assert "scenario:adversarial-ties" in printed
+
+    def test_workload_k_defaults_to_the_packs_k(self, capsys):
+        code = main(
+            ["workload", "--scenario", "adversarial-edge-k", "--min-queries", "0"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "k=25" in printed
+        # Update-carrying pack in warm mode: the stream replays and a
+        # second post-update batch is reported.
+        assert "# scenario update stream:" in printed
+        assert printed.count("WorkloadReport") == 2
+
+    def test_workload_without_scenario_keeps_default_k(self, capsys):
+        code = main(
+            ["workload", "--dataset", "xkg", "--scale", "small",
+             "--min-queries", "0"]
+        )
+        assert code == 0
+        assert "k=10" in capsys.readouterr().out
+
+    def test_workload_seed_overrides_the_packs_seed(self, capsys):
+        code = main(
+            ["workload", "--scenario", "media-base", "--seed", "3",
+             "--min-queries", "0"]
+        )
+        assert code == 0
+        assert "# scenario: media-base (seed 3)" in capsys.readouterr().out
+
+    def test_workload_unknown_scenario_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["workload", "--scenario", "nope"])
+        assert "--scenario" in capsys.readouterr().err
+
+    def test_update_replays_the_packs_stream(self, tmp_path, capsys):
+        out = tmp_path / "post-update.npz"
+        code = main(
+            ["update", "--scenario", "social-update-heavy",
+             "--output", str(out)]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "scenario social-update-heavy (seed 613)" in printed
+        assert "applied 160 adds / 80 removes" in printed
+        assert out.exists()
+
+    def test_update_rejects_packs_without_a_stream(self, capsys):
+        code = main(["update", "--scenario", "commerce-base"])
+        assert code == 2
+        assert "ships no update stream" in capsys.readouterr().err
+
+    @pytest.mark.slow_scenario
+    def test_every_shipped_pack_serves_end_to_end(self, capsys):
+        """`make scenarios` coverage: `workload --scenario NAME` runs
+        every registered pack through the full serving path."""
+        from repro.datasets import scenario_names
+
+        for name in scenario_names():
+            code = main(
+                ["workload", "--scenario", name, "--min-queries", "0",
+                 "--executor", "auto"]
+            )
+            printed = capsys.readouterr().out
+            assert code == 0, name
+            assert f"# scenario: {name}" in printed

@@ -5,13 +5,23 @@ block path runs on — columnar, sharded (1 and 4 shards), and live
 overlays over each, before and after compaction — ``executor="block"``
 returns byte-identical ``(bindings, score)`` sequences to
 ``executor="tuple"``, on a real generated workload with mined rules.
+
+The scenario-matrix section below makes the same claim on generated
+coverage traffic: the adversarial packs (boundary-tie runs straddling
+k, k > result-count, empty match lists, unselective joins) run in the
+default suite across tuple/block/auto × object/columnar/sharded, and
+the full every-pack sweep — including each pack's update stream — runs
+under the ``slow_scenario`` marker (``make scenarios``).
 """
 
 from __future__ import annotations
 
+import functools
+
 import pytest
 
 from repro.core.engine import SpecQPEngine
+from repro.datasets.scenarios import build_scenario, scenario_names
 from repro.datasets.workload import Workload
 from repro.errors import ExperimentError
 from repro.kg.columnar import ColumnarGraph
@@ -92,6 +102,88 @@ def test_block_equals_tuple_on_live_overlays(
         expected = answer_rows(tuple_engine.query(query, k=10))
         actual = answer_rows(block_engine.query(query, k=10))
         assert actual == expected, (query.name, base_kind, stage)
+
+
+# ----------------------------------------------------------------------
+# Scenario matrix
+# ----------------------------------------------------------------------
+ADVERSARIAL_PACKS = (
+    "adversarial-ties",
+    "adversarial-edge-k",
+    "adversarial-unselective",
+)
+EXECUTORS = ("tuple", "block", "auto")
+
+
+@functools.lru_cache(maxsize=None)
+def _scenario_pack(name):
+    return build_scenario(name)
+
+
+def _scenario_backends(pack):
+    """The backend families for one pack: the object graph the generator
+    built, its columnar conversion, and a 4-shard partition of it."""
+    columnar = ColumnarGraph.from_graph(pack.workload.graph)
+    return {
+        "object": pack.workload.graph,
+        "columnar": columnar,
+        "sharded-4": ShardedGraph(
+            columnar.store, 4, strategy="score-range", name="scenario-eq"
+        ),
+    }
+
+
+def _scenario_rows(pack, graph, executor, queries=None):
+    engine = SpecQPEngine(graph, pack.workload.rules, executor=executor)
+    return [
+        answer_rows(engine.query(query, k=pack.k))
+        for query in (queries or pack.workload.queries)
+    ]
+
+
+@pytest.mark.parametrize("name", ADVERSARIAL_PACKS)
+def test_adversarial_packs_identical_across_executors_and_backends(name):
+    """Tier-1: the shapes executor divergence would first show on —
+    boundary ties at the k cut, starved k, empty lists, open joins —
+    must agree byte-identically everywhere."""
+    pack = _scenario_pack(name)
+    backends = _scenario_backends(pack)
+    reference = _scenario_rows(pack, backends["columnar"], "tuple")
+    for backend_name, graph in backends.items():
+        for executor in EXECUTORS:
+            rows = _scenario_rows(pack, graph, executor)
+            assert rows == reference, (name, backend_name, executor)
+
+
+@pytest.mark.slow_scenario
+@pytest.mark.parametrize("name", scenario_names())
+def test_every_pack_identical_across_executors_and_backends(name):
+    """The full sweep `make scenarios` runs: every shipped pack across
+    every backend family and executor, plus — for update-carrying packs
+    — the same matrix again on a live overlay pre and post compaction."""
+    pack = _scenario_pack(name)
+    backends = _scenario_backends(pack)
+    reference = _scenario_rows(pack, backends["columnar"], "tuple")
+    for backend_name, graph in backends.items():
+        for executor in EXECUTORS:
+            rows = _scenario_rows(pack, graph, executor)
+            assert rows == reference, (name, backend_name, executor)
+
+    if not pack.updates:
+        return
+    for base_kind in ("columnar", "sharded-4"):
+        for stage in ("pre-compaction", "post-compaction"):
+            live = LiveGraph(backends[base_kind])
+            live.apply_updates(pack.updates)
+            if stage == "post-compaction":
+                live.compact()
+            expected = _scenario_rows(pack, live, "tuple")
+            assert expected != reference, (
+                f"{name}: update stream changed no answer on {base_kind}"
+            )
+            for executor in ("block", "auto"):
+                rows = _scenario_rows(pack, live, executor)
+                assert rows == expected, (name, base_kind, stage, executor)
 
 
 class TestWorkloadRunnerExecutor:

@@ -15,10 +15,14 @@ every example.
 
 from __future__ import annotations
 
+import functools
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.engine import SpecQPEngine
+from repro.datasets.scenarios import build_scenario
 from repro.kg.columnar import ColumnarGraph
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.pattern import TriplePattern, Variable
@@ -155,3 +159,55 @@ def test_block_executor_empty_and_overlarge_k_edges(rows, k):
     assert answer_rows(block_engine.query_exact(open_query, k=k)) == answer_rows(
         tuple_engine.query_exact(open_query, k=k)
     )
+
+
+# ----------------------------------------------------------------------
+# The same invariant on generated scenario traffic: random small graphs
+# above give breadth, the adversarial packs below give the *shapes* —
+# boundary-tie runs straddling k, k > result-count, empty match lists,
+# mined (not hand-planted) relaxation rules.
+# ----------------------------------------------------------------------
+SCENARIO_MATRIX = ("adversarial-ties", "adversarial-edge-k", "media-relax-heavy")
+
+
+@functools.lru_cache(maxsize=None)
+def _scenario_columnar(name):
+    pack = build_scenario(name)
+    return pack, ColumnarGraph.from_graph(pack.workload.graph)
+
+
+@pytest.mark.parametrize("name", SCENARIO_MATRIX)
+@pytest.mark.parametrize("executor", ("block", "auto"))
+def test_scenario_pack_identical_to_tuple(name, executor):
+    pack, graph = _scenario_columnar(name)
+    rules = pack.workload.rules
+    tuple_engine = SpecQPEngine(graph, rules, executor="tuple")
+    other = SpecQPEngine(
+        graph, rules, catalog=tuple_engine.catalog, executor=executor
+    )
+    for query in pack.workload.queries:
+        expected = answer_rows(tuple_engine.query(query, k=pack.k))
+        assert answer_rows(other.query(query, k=pack.k)) == expected, query.name
+
+
+@pytest.mark.parametrize("name", SCENARIO_MATRIX)
+def test_scenario_pack_identical_across_shard_counts(name):
+    pack, graph = _scenario_columnar(name)
+    rules = pack.workload.rules
+    reference = SpecQPEngine(graph, rules, executor="tuple")
+    # A slice is enough per shard count — the full sweep runs in the
+    # slow_scenario matrix; this keeps adversarial shapes in tier 1.
+    queries = pack.workload.queries[:6]
+    expected = [answer_rows(reference.query(q, k=pack.k)) for q in queries]
+    for n_shards in SHARD_COUNTS:
+        for executor in ("tuple", "block", "auto"):
+            engine = SpecQPEngine(
+                graph,
+                rules,
+                shards=n_shards,
+                shard_strategy="score-range",
+                executor=executor,
+            )
+            for query, rows in zip(queries, expected):
+                actual = answer_rows(engine.query(query, k=pack.k))
+                assert actual == rows, (name, n_shards, executor, query.name)
