@@ -1,7 +1,7 @@
 # Spec-QP reproduction — common entry points.
 #
 #   make test    tier-1 verification (unit + property + integration + benchmarks)
-#   make bench   benchmark suite with timing tables + the BENCH_PR6.json baseline
+#   make bench   benchmark suite with timing tables + the BENCH_PR9.json baseline
 #   make bench-diff  regenerate the baseline and diff it against the prior PR's
 #   make cov     tests with line coverage + the CI floor (needs pytest-cov)
 #   make docs    docs link + snippet import check, run every runnable doc surface
@@ -15,10 +15,10 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 COV_FAIL_UNDER ?= 80
 
 #: Where `make bench` persists the machine-readable perf baseline.
-BENCH_JSON ?= BENCH_PR6.json
+BENCH_JSON ?= BENCH_PR9.json
 
 #: The prior baseline `make bench-diff` compares against.
-BENCH_PRIOR ?= BENCH_PR5.json
+BENCH_PRIOR ?= BENCH_PR6.json
 
 .PHONY: test bench bench-diff cov docs workload scenarios
 

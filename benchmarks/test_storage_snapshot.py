@@ -76,3 +76,73 @@ def test_snapshot_load_10x_faster_than_tsv_parse(million_graph, stored_paths):
     snapshot_list = from_snapshot.match_list(pattern)
     assert tsv_list.triples == snapshot_list.triples
     assert tsv_list.normalized_scores == snapshot_list.normalized_scores
+
+
+@pytest.fixture(scope="module")
+def packed_path(million_graph, tmp_path_factory):
+    root = tmp_path_factory.mktemp("packed")
+    path = root / "million.kg2"
+    storage.save_snapshot_v2(million_graph, path)
+    return path
+
+
+def test_v2_cold_attach_10x_faster_than_npz_load(
+    million_graph, stored_paths, packed_path
+):
+    """The v2 claim: attach time is O(ms), independent of graph size.
+
+    The ``.npz`` loader decompresses and validates every column before
+    the first query can run; ``load_snapshot_v2`` parses one JSON
+    manifest and maps six sections.  The asserted bar is >= 10x; the
+    observed gap at a million triples is far larger (ms vs seconds) —
+    re-measure with this benchmark rather than trusting prose.
+    """
+    _, snapshot_path = stored_paths
+
+    start = time.perf_counter()
+    from_npz = storage.load_snapshot(snapshot_path)
+    npz_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    attached = storage.load_snapshot_v2(packed_path)
+    attach_seconds = time.perf_counter() - start
+
+    print(
+        f"\n{PROFILE}: npz load {npz_seconds * 1e3:.1f}ms, "
+        f"v2 attach {attach_seconds * 1e3:.1f}ms, "
+        f"speed-up {npz_seconds / attach_seconds:.1f}x"
+    )
+    assert attached.size == from_npz.size == million_graph.size
+    assert npz_seconds >= MIN_SPEEDUP * attach_seconds, (
+        f"v2 attach should be >= {MIN_SPEEDUP:.0f}x faster than npz load: "
+        f"npz={npz_seconds:.3f}s attach={attach_seconds:.3f}s "
+        f"({npz_seconds / attach_seconds:.1f}x)"
+    )
+
+    # Attach speed means nothing if the graphs differ: spot-check scores
+    # and one full Definition-5 match list against the npz backend.
+    store = million_graph.store
+    terms = store.term_list()
+    for row in range(0, store.n_triples, store.n_triples // 97):
+        s = terms[store.subjects[row]]
+        p = terms[store.predicates[row]]
+        o = terms[store.objects[row]]
+        assert attached.score_of(s, p, o) == from_npz.score_of(s, p, o)
+
+    pattern = TriplePattern(Variable("s"), terms[store.predicates[0]], Variable("o"))
+    assert (
+        attached.match_list(pattern).triples
+        == from_npz.match_list(pattern).triples
+    )
+
+
+def test_v2_file_not_larger_than_npz_by_much(stored_paths, packed_path):
+    """Raw uncompressed sections cost some disk vs the deflated npz; the
+    contiguity that buys page-cache-friendly attach must stay bounded."""
+    import os
+
+    _, snapshot_path = stored_paths
+    npz_bytes = os.path.getsize(snapshot_path)
+    kg2_bytes = os.path.getsize(packed_path)
+    print(f"\nnpz {npz_bytes / 1e6:.1f}MB vs kg2 {kg2_bytes / 1e6:.1f}MB")
+    assert kg2_bytes < 4 * npz_bytes

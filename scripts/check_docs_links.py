@@ -9,7 +9,11 @@ and fails (exit 1) listing every problem found:
   (external URLs and pure anchors are skipped);
 * every fenced ```` ```python ```` snippet must parse, and every import
   statement in it must execute against ``src/`` — so renaming or
-  removing a public symbol breaks the build, not the reader.
+  removing a public symbol breaks the build, not the reader;
+* the ``convert`` command lines documented in ``docs/storage.md`` must
+  actually round-trip: a tiny graph is driven through
+  tsv → kg2 → npz → tsv via the real CLI entry point and the final TSV
+  must equal the first byte for byte.
 
 Run via ``make docs`` or CI.
 """
@@ -82,6 +86,58 @@ def broken_snippets(doc: Path, root: Path) -> tuple[list[str], int]:
     return problems, n_snippets
 
 
+def convert_roundtrip_problems() -> list[str]:
+    """Drive the documented ``convert`` CLI through the v2 packed format.
+
+    ``docs/storage.md`` shows tsv ⇄ npz ⇄ kg2 command lines; run the
+    full loop on a tiny graph so those lines cannot rot: the TSV that
+    comes back out of tsv → kg2 → npz → tsv must be byte-identical to
+    the one that went in (both backends export the same canonical
+    order).
+    """
+    import tempfile
+
+    try:
+        from repro.experiments.cli import main as cli_main
+        from repro.kg import KnowledgeGraph
+        from repro.kg.storage import save_tsv
+    except Exception as error:  # noqa: BLE001 - report, don't crash
+        return [f"convert roundtrip: cannot import the CLI: {error}"]
+    graph = KnowledgeGraph(name="docs-roundtrip")
+    for s, p, o, score in [
+        ("shakira", "rdf:type", "singer", 95.0),
+        ("dylan", "rdf:type", "singer", 85.0),
+        ("dylan", "rdf:type", "writer", 80.0),
+        ("prince", "plays", "piano", 72.5),
+    ]:
+        graph.add(s, p, o, score=score)
+    with tempfile.TemporaryDirectory() as tmp:
+        first = Path(tmp) / "a.tsv"
+        save_tsv(graph, first)
+        hops = [first, Path(tmp) / "b.kg2", Path(tmp) / "c.npz", Path(tmp) / "d.tsv"]
+        for source, target in zip(hops, hops[1:]):
+            try:
+                code = cli_main(
+                    ["convert", "--input", str(source), "--output", str(target)]
+                )
+            except Exception as error:  # noqa: BLE001 - report, don't crash
+                return [
+                    f"convert roundtrip: {source.name} -> {target.name} "
+                    f"raised: {error}"
+                ]
+            if code != 0:
+                return [
+                    f"convert roundtrip: {source.name} -> {target.name} "
+                    f"exited {code}"
+                ]
+        if hops[-1].read_bytes() != first.read_bytes():
+            return [
+                "convert roundtrip: tsv -> kg2 -> npz -> tsv did not "
+                "round-trip byte-identically"
+            ]
+    return []
+
+
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
     sys.path.insert(0, str(root / "src"))  # snippets import the package itself
@@ -96,6 +152,7 @@ def main() -> int:
         snippet_problems, n_snippets = broken_snippets(doc, root)
         problems.extend(snippet_problems)
         total_snippets += n_snippets
+    problems.extend(convert_roundtrip_problems())
     for problem in problems:
         print(problem, file=sys.stderr)
     print(

@@ -113,25 +113,31 @@ def run_experiment(
 
 
 def _storage_format(path: str) -> str:
-    """``'snapshot'`` or ``'tsv'`` from a file name, or raise."""
+    """``'snapshot'``, ``'snapshot-v2'`` or ``'tsv'`` from a file name, or raise."""
     lowered = path.lower()
     if lowered.endswith(".npz"):
         return "snapshot"
+    if lowered.endswith(".kg2"):
+        return "snapshot-v2"
     if lowered.endswith((".tsv", ".tsv.gz")):
         return "tsv"
     raise ExperimentError(
         f"cannot infer storage format of {path!r}: "
-        "use .tsv / .tsv.gz (scored TSV) or .npz (binary snapshot)"
+        "use .tsv / .tsv.gz (scored TSV), .npz (v1 snapshot) or "
+        ".kg2 (v2 packed snapshot, mmap-attachable)"
     )
 
 
 def run_convert(args: "argparse.Namespace") -> int:
-    """The ``convert`` subcommand: TSV ⇄ binary snapshot.
+    """The ``convert`` subcommand: TSV ⇄ binary snapshot (v1 ⇄ v2).
 
-    Formats are inferred from the file suffixes.  TSV input streams
-    straight into the columnar backend (interned once, never an
-    object-per-triple dict), so converting a large graph to a snapshot is
-    a one-time cost that every later load skips.
+    Formats are inferred from the file suffixes: ``.tsv``/``.tsv.gz``
+    (scored TSV), ``.npz`` (v1 snapshot), ``.kg2`` (v2 packed snapshot —
+    mmap-attachable in O(ms)).  Any input format converts to any output
+    format.  TSV input streams straight into the columnar backend
+    (interned once, never an object-per-triple dict), so converting a
+    large graph to a snapshot is a one-time cost that every later load
+    skips.
     """
     import time
 
@@ -147,6 +153,8 @@ def run_convert(args: "argparse.Namespace") -> int:
         graph = _load_graph(args.input, args.graph_name)
         if out_format == "snapshot":
             count = storage.save_snapshot(graph, args.output)
+        elif out_format == "snapshot-v2":
+            count = storage.save_snapshot_v2(graph, args.output)
         else:
             count = storage.save_tsv(graph, args.output)
     except (KnowledgeGraphError, OSError) as error:
@@ -166,7 +174,11 @@ def _load_graph(path: str, name: str | None):
     from repro.kg import storage
     from repro.kg.columnar import ColumnarGraph
 
-    if _storage_format(path) == "snapshot":
+    fmt = _storage_format(path)
+    if fmt == "snapshot-v2":
+        return storage.load_snapshot_v2(path, name=name)
+    if fmt == "snapshot":
+        # content-dispatches, so a v2 file renamed .npz still loads
         return storage.load_snapshot(path, name=name)
     return ColumnarGraph.from_triples(
         storage.iter_tsv(path), name=name or Path(path).stem
@@ -205,6 +217,8 @@ def run_update(args: "argparse.Namespace") -> int:
         result = live.base  # the folded columnar graph, snapshot-ready
         if out_format == "snapshot":
             storage.save_snapshot(result, args.output)
+        elif out_format == "snapshot-v2":
+            storage.save_snapshot_v2(result, args.output)
         else:
             storage.save_tsv(result, args.output)
     except (KnowledgeGraphError, OSError) as error:
@@ -249,8 +263,11 @@ def _run_scenario_update(args: "argparse.Namespace") -> int:
         live.compact()
         result = live.base
         if args.output:
-            if _storage_format(args.output) == "snapshot":
+            fmt = _storage_format(args.output)
+            if fmt == "snapshot":
                 storage.save_snapshot(result, args.output)
+            elif fmt == "snapshot-v2":
+                storage.save_snapshot_v2(result, args.output)
             else:
                 storage.save_tsv(result, args.output)
     except (KnowledgeGraphError, OSError) as error:
@@ -286,6 +303,7 @@ def run_workload(args: "argparse.Namespace") -> int:
     runner = WorkloadRunner(
         workload,
         n_workers=args.workers,
+        worker_model=args.worker_model,
         shards=args.shards,
         shard_strategy=args.shard_strategy,
         executor=args.executor,
@@ -294,7 +312,7 @@ def run_workload(args: "argparse.Namespace") -> int:
     print(f"# workload: {workload.summary()}")
     print(
         f"# batch: {len(queries)} queries, k={args.k}, mode={args.mode}, "
-        f"executor={args.executor}"
+        f"executor={args.executor}, worker-model={args.worker_model}"
     )
     if args.executor in ("block", "auto") and args.shards == 1 and not hasattr(
         runner.graph, "store"
@@ -311,37 +329,40 @@ def run_workload(args: "argparse.Namespace") -> int:
             f"sizes={list(sizes)}"
         )
 
-    if args.mode == "both":
-        comparison = runner.compare(queries, k=args.k)
-        print()
-        print(comparison["cold"].render())  # type: ignore[union-attr]
-        print()
-        print(comparison["warm"].render())  # type: ignore[union-attr]
-        print()
-        print(f"warm-over-cold speed-up: {comparison['speedup']:.2f}x")
-        if args.workers > 1:
+    try:
+        if args.mode == "both":
+            comparison = runner.compare(queries, k=args.k)
+            print()
+            print(comparison["cold"].render())  # type: ignore[union-attr]
+            print()
+            print(comparison["warm"].render())  # type: ignore[union-attr]
+            print()
+            print(f"warm-over-cold speed-up: {comparison['speedup']:.2f}x")
+            if args.workers > 1:
+                print(
+                    f"# note: warm ran on {args.workers} workers, cold is always "
+                    "sequential; use --workers 1 to attribute the speed-up to "
+                    "caching alone"
+                )
+        else:
+            report = runner.run(queries, k=args.k, mode=args.mode)
+            print()
+            print(report.render())
+        if pack is not None and pack.updates and args.mode != "cold":
+            # Update-carrying packs smoke the full serve → write → re-serve
+            # loop: the second warm batch runs on the post-update version.
+            counts = runner.apply_updates(list(pack.updates))
+            print()
             print(
-                f"# note: warm ran on {args.workers} workers, cold is always "
-                "sequential; use --workers 1 to attribute the speed-up to "
-                "caching alone"
+                f"# scenario update stream: {counts['adds']} adds / "
+                f"{counts['removes']} removes ({counts['absent_removes']} absent), "
+                f"graph version {counts['graph_version']}"
             )
-    else:
-        report = runner.run(queries, k=args.k, mode=args.mode)
-        print()
-        print(report.render())
-    if pack is not None and pack.updates and args.mode != "cold":
-        # Update-carrying packs smoke the full serve → write → re-serve
-        # loop: the second warm batch runs on the post-update version.
-        counts = runner.apply_updates(list(pack.updates))
-        print()
-        print(
-            f"# scenario update stream: {counts['adds']} adds / "
-            f"{counts['removes']} removes ({counts['absent_removes']} absent), "
-            f"graph version {counts['graph_version']}"
-        )
-        post = runner.run(queries, k=args.k, mode="warm")
-        print()
-        print(post.render())
+            post = runner.run(queries, k=args.k, mode="warm")
+            print()
+            print(post.render())
+    finally:
+        runner.close()
     return 0
 
 
@@ -374,7 +395,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     service.add_argument(
         "--workers", type=int, default=1,
-        help="worker threads for warm batches (default 1)",
+        help="workers for warm batches (default 1)",
+    )
+    service.add_argument(
+        "--worker-model", choices=("thread", "process"), default="thread",
+        help="warm-batch worker pool: GIL-sharing threads (default), or "
+        "processes that each mmap-attach one shared v2 snapshot of the "
+        "graph (true multi-core; answers identical)",
     )
     service.add_argument(
         "--k", type=int, default=None,
@@ -419,7 +446,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     convert.add_argument(
         "--input", default=None, metavar="PATH",
-        help="source graph: .tsv / .tsv.gz (scored TSV) or .npz (snapshot)",
+        help="source graph: .tsv / .tsv.gz (scored TSV), .npz (v1 snapshot) "
+        "or .kg2 (v2 packed snapshot)",
     )
     convert.add_argument(
         "--output", default=None, metavar="PATH",

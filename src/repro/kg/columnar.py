@@ -83,11 +83,13 @@ class ColumnarStore:
         "predicates",
         "objects",
         "scores",
+        "source_path",
         "_term_list",
         "_term_ids",
         "_term_rank",
         "_row_index",
         "_packed_sorted",
+        "_lexicon_parent",
     )
 
     def __init__(
@@ -112,11 +114,13 @@ class ColumnarStore:
             )
         if self.terms.ndim != 1 or (self.terms.size and self.terms.dtype.kind != "U"):
             raise KnowledgeGraphError("terms must be a 1-D unicode array")
+        self.source_path: str | None = None
         self._term_list: list[str] | None = None
         self._term_ids: dict[str, int] | None = None
         self._term_rank: np.ndarray | None = None
         self._row_index: dict[tuple[int, int, int], int] | None = None
         self._packed_sorted: np.ndarray | None = None
+        self._lexicon_parent: "ColumnarStore | None" = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -190,6 +194,25 @@ class ColumnarStore:
         if validate:
             store.validate()
         return store
+
+    @classmethod
+    def open_mmap(cls, path: "str | object", *, verify: bool = False) -> "ColumnarStore":
+        """Attach a v2 packed snapshot (``.kg2``) as memory-mapped columns.
+
+        O(ms) regardless of graph size: the columns (and the precomputed
+        lexicographic term ranks) are ``np.memmap`` views over the file,
+        so pages fault in on demand and every process attaching the same
+        snapshot shares one physical copy through the page cache.  The
+        returned store is read-only; mutating code must go through the
+        delta overlay (:mod:`repro.kg.delta`) like any other frozen
+        store.  ``verify=True`` additionally checks the per-section
+        checksums and full invariants (reads the whole file).  Format
+        spec: ``docs/storage.md``; written by
+        :func:`repro.kg.storage.save_snapshot_v2`.
+        """
+        from repro.kg.storage import open_snapshot_v2_store
+
+        return open_snapshot_v2_store(path, verify=verify)
 
     def validate(self) -> None:
         """Check every store invariant; raise :class:`KnowledgeGraphError`."""
@@ -265,26 +288,53 @@ class ColumnarStore:
     # ------------------------------------------------------------------
     # Lazy lookup structures
     # ------------------------------------------------------------------
+    def share_lexicon_from(self, parent: "ColumnarStore") -> None:
+        """Delegate dictionary lookups to *parent* (which must hold the
+        *same* ``terms`` array, e.g. shard slices over one dictionary).
+
+        Keeps laziness intact: nothing is built at call time, and when a
+        shard later needs the term → id map or the ranks, all siblings
+        resolve to the single structure built on the parent — one decode
+        of the dictionary per process instead of one per shard.
+        """
+        if parent.terms is not self.terms:
+            raise KnowledgeGraphError(
+                "share_lexicon_from requires an identical terms array"
+            )
+        self._lexicon_parent = parent
+
     def term_list(self) -> list[str]:
         """The dictionary as plain Python strings (id → term), built lazily."""
         if self._term_list is None:
-            self._term_list = self.terms.tolist()
+            if self._lexicon_parent is not None:
+                self._term_list = self._lexicon_parent.term_list()
+            else:
+                self._term_list = self.terms.tolist()
         return self._term_list
 
     def term_id(self, term: str) -> int | None:
         """Id of *term*, or ``None`` if it is not in the dictionary."""
         if self._term_ids is None:
-            self._term_ids = {t: i for i, t in enumerate(self.term_list())}
+            if self._lexicon_parent is not None:
+                self._lexicon_parent.term_id("")  # force the parent's map
+                self._term_ids = self._lexicon_parent._term_ids
+            else:
+                self._term_ids = {t: i for i, t in enumerate(self.term_list())}
         return self._term_ids.get(term)
 
     def _ranks(self) -> np.ndarray:
         """Lexicographic rank of each term id (order-isomorphic to the
-        term strings, so integer tie-breaks reproduce string tie-breaks)."""
+        term strings, so integer tie-breaks reproduce string tie-breaks).
+        Memory-mapped stores carry the ranks as a snapshot section, so
+        attaching never argsorts the dictionary."""
         if self._term_rank is None:
-            order = np.argsort(self.terms, kind="stable")
-            rank = np.empty(len(order), dtype=np.int64)
-            rank[order] = np.arange(len(order))
-            self._term_rank = rank
+            if self._lexicon_parent is not None:
+                self._term_rank = self._lexicon_parent._ranks()
+            else:
+                order = np.argsort(self.terms, kind="stable")
+                rank = np.empty(len(order), dtype=np.int64)
+                rank[order] = np.arange(len(order))
+                self._term_rank = rank
         return self._term_rank
 
     def row_of(self, subject: str, predicate: str, object_: str) -> int | None:

@@ -135,12 +135,6 @@ def partition_store(
     per-shard match-list orders interleave into the global order.
     """
     rows_per_shard = partition_rows(store, n_shards, strategy)
-    # Force-build the parent's lazy structures once so every shard can
-    # share them instead of rebuilding n_shards copies.
-    term_list = store.term_list()
-    if store._term_ids is None:
-        store._term_ids = {term: i for i, term in enumerate(term_list)}
-    ranks = store._ranks()
     shards = []
     for rows in rows_per_shard:
         shard = ColumnarStore(
@@ -150,9 +144,13 @@ def partition_store(
             store.objects[rows],
             store.scores[rows],
         )
-        shard._term_list = term_list
-        shard._term_ids = store._term_ids
-        shard._term_rank = ranks
+        # Delegate dictionary lookups to the parent *lazily*: nothing is
+        # decoded or argsorted here, and whichever shard needs the term
+        # map or ranks first resolves to one structure on the parent
+        # instead of n_shards rebuilds.  Keeps mmap-attached stores
+        # (whose ranks are a snapshot section and whose term map may
+        # never be needed) shardable without touching the dictionary.
+        shard.share_lexicon_from(store)
         shards.append(shard)
     return tuple(shards)
 

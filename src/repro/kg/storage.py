@@ -25,7 +25,11 @@ from __future__ import annotations
 
 import gzip
 import io
+import json
 import math
+import os
+import struct
+import zlib
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator, TextIO
 
@@ -34,14 +38,37 @@ from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.kg.columnar import ColumnarGraph
+    from repro.kg.columnar import ColumnarGraph, ColumnarStore
     from repro.kg.delta import GraphUpdate
 
 #: Magic string identifying a snapshot ``.npz`` as ours.
 SNAPSHOT_FORMAT = "spec-qp/kg-snapshot"
 
-#: Highest snapshot version this reader understands.
+#: Highest ``.npz`` container version this reader understands.
 SNAPSHOT_VERSION = 1
+
+#: Format version of the v2 packed snapshot (``.kg2``).
+SNAPSHOT_V2_VERSION = 2
+
+#: Leading magic bytes of a v2 packed snapshot (``.kg2``).  PNG-style:
+#: high bit + CRLF + ^Z + LF catch text-mode mangling and truncation.
+SNAPSHOT_V2_MAGIC = b"\x89KG2\r\n\x1a\n"
+
+#: Conventional suffix of v2 packed snapshots.
+SNAPSHOT_V2_SUFFIX = ".kg2"
+
+#: Section start alignment inside a v2 file (cache-line sized).
+_V2_ALIGN = 64
+
+#: v2 sections in file order.  ``term_rank`` persists the lexicographic
+#: ranks :meth:`ColumnarStore._ranks` would otherwise argsort on first
+#: use, so attaching never touches the dictionary.
+_V2_SECTIONS = ("terms", "term_rank", "subjects", "predicates", "objects", "scores")
+
+_V2_HINT = (
+    "expected a v2 packed snapshot (magic %r); v1 snapshots are .npz "
+    "containers readable by load_snapshot — see docs/storage.md" % SNAPSHOT_V2_MAGIC
+)
 
 
 def _open_text(path: str | Path, mode: str) -> TextIO:
@@ -179,6 +206,47 @@ def iter_update_tsv(path: str | Path) -> "Iterator[GraphUpdate]":
 # ----------------------------------------------------------------------
 # Binary snapshots (columnar .npz)
 # ----------------------------------------------------------------------
+def _columnar_store_of(graph: KnowledgeGraph) -> "ColumnarStore":
+    """The graph's columnar store, interning on the fly if needed.
+
+    Non-columnar graphs (object-backed, live-update overlays) are frozen
+    through :meth:`ColumnarStore.from_triples`, which sees the *merged*
+    triple set — so snapshotting a :class:`~repro.kg.delta.LiveGraph`
+    implicitly compacts it on disk.
+    """
+    from repro.kg.columnar import ColumnarStore
+
+    store = getattr(graph, "store", None)
+    if isinstance(store, ColumnarStore):
+        return store
+    return ColumnarStore.from_triples(graph.triples())
+
+
+class _AtomicBinaryWriter:
+    """Write-to-temp-then-``os.replace`` so crashed writers never leave a
+    truncated snapshot at the destination path.  ``os.replace`` is atomic
+    on POSIX and Windows for same-filesystem paths, which holds because
+    the temp file lives next to the destination."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.temp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+
+    def __enter__(self) -> io.BufferedWriter:
+        self._handle = open(self.temp, "wb")
+        return self._handle
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self._handle.close()
+        if exc_type is None:
+            os.replace(self.temp, self.path)
+        else:
+            try:
+                os.unlink(self.temp)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+
 def save_snapshot(graph: KnowledgeGraph, path: str | Path) -> int:
     """Persist *graph* as a versioned binary snapshot; returns triple count.
 
@@ -191,16 +259,12 @@ def save_snapshot(graph: KnowledgeGraph, path: str | Path) -> int:
     """
     import numpy as np
 
-    from repro.kg.columnar import ColumnarStore
-
-    store = getattr(graph, "store", None)
-    if not isinstance(store, ColumnarStore):
-        store = ColumnarStore.from_triples(graph.triples())
+    store = _columnar_store_of(graph)
     # Refuse to write a file load_snapshot would reject (e.g. a NaN score
     # smuggled past Triple's `score < 0` check): fail at save time.
     store.validate()
     path = Path(path)
-    with open(path, "wb") as handle:
+    with _AtomicBinaryWriter(path) as handle:
         np.savez_compressed(
             handle,
             format=np.array(SNAPSHOT_FORMAT),
@@ -228,6 +292,10 @@ def load_snapshot(
     :class:`KnowledgeGraph` instead.  A file that is not a snapshot, or a
     snapshot from a newer format version, raises
     :class:`~repro.errors.KnowledgeGraphError`.
+
+    Dispatches on content, not suffix: a v2 packed snapshot (see
+    :func:`save_snapshot_v2`) is recognised by its magic bytes and
+    attached via :func:`load_snapshot_v2` (memory-mapped, O(ms)).
     """
     import zipfile
 
@@ -236,6 +304,8 @@ def load_snapshot(
     from repro.kg.columnar import ColumnarGraph, ColumnarStore
 
     path = Path(path)
+    if _sniff_v2(path):
+        return load_snapshot_v2(path, name=name, mutable=mutable)
     try:
         with np.load(path, allow_pickle=False) as data:
             try:
@@ -248,10 +318,16 @@ def load_snapshot(
                 }
             except KeyError as missing:
                 raise KnowledgeGraphError(
-                    f"{path}: not a knowledge-graph snapshot (missing {missing})"
+                    f"{path}: not a knowledge-graph snapshot "
+                    f"(missing member {missing}; a v1 .npz snapshot carries "
+                    f"format/version/name/terms/columns — see docs/storage.md)"
                 ) from None
     except (zipfile.BadZipFile, ValueError, OSError) as error:
-        raise KnowledgeGraphError(f"{path}: cannot read snapshot: {error}") from None
+        raise KnowledgeGraphError(
+            f"{path}: cannot read snapshot: {error} "
+            f"(v1 snapshots are .npz containers, v2 packed snapshots start "
+            f"with the {SNAPSHOT_V2_MAGIC!r} magic — see docs/storage.md)"
+        ) from None
     if magic != SNAPSHOT_FORMAT:
         raise KnowledgeGraphError(
             f"{path}: bad snapshot magic {magic!r} (expected {SNAPSHOT_FORMAT!r})"
@@ -273,6 +349,294 @@ def load_snapshot(
     except KnowledgeGraphError as error:
         raise KnowledgeGraphError(f"{path}: corrupt snapshot: {error}") from None
     graph = ColumnarGraph(store, name=name or stored_name or path.stem)
+    return graph.thaw() if mutable else graph
+
+
+# ----------------------------------------------------------------------
+# v2 packed snapshots (.kg2): mmap-attachable raw columns + JSON manifest
+# ----------------------------------------------------------------------
+def _sniff_v2(path: Path) -> bool:
+    """Whether *path* starts with the v2 packed-snapshot magic."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(SNAPSHOT_V2_MAGIC)) == SNAPSHOT_V2_MAGIC
+    except OSError:
+        return False
+
+
+def _v2_error(path: str | Path, why: str) -> KnowledgeGraphError:
+    return KnowledgeGraphError(f"{path}: {why} ({_V2_HINT})")
+
+
+def save_snapshot_v2(graph: KnowledgeGraph, path: str | Path) -> int:
+    """Persist *graph* as a v2 packed snapshot; returns the triple count.
+
+    Layout (all integers little-endian, see ``docs/storage.md``)::
+
+        magic (8 B) | section bytes, each start 64-byte aligned | JSON
+        manifest | uint64 manifest length
+
+    The manifest footer keeps section offsets independent of the
+    manifest's own size; sections are raw C-contiguous array bytes that
+    :func:`numpy.memmap` can attach with zero copies.  Two sections go
+    beyond the v1 members: ``term_rank`` persists the lexicographic term
+    ranks (so attaching never argsorts the dictionary), and the four row
+    columns are stored in canonical Definition-5 score order — every
+    match list is then a gather over *forward-contiguous* file regions,
+    which is what keeps cold page-cache misses sequential.  Row order is
+    not part of the graph's identity: every user-visible ordering (match
+    lists, answers, TSV export) re-sorts by total orders.
+
+    Writes are atomic (temp file + ``os.replace``); a crashed writer
+    never leaves a truncated file at *path*.
+    """
+    import numpy as np
+
+    store = _columnar_store_of(graph)
+    store.validate()
+    order = store.score_order(np.arange(store.n_triples, dtype=np.int64))
+    term_width = store.terms.dtype.itemsize // 4 if store.terms.size else 1
+    arrays = {
+        "terms": np.ascontiguousarray(store.terms, dtype=f"<U{term_width}"),
+        "term_rank": np.ascontiguousarray(store._ranks(), dtype="<i8"),
+        "subjects": np.ascontiguousarray(store.subjects[order], dtype="<i4"),
+        "predicates": np.ascontiguousarray(store.predicates[order], dtype="<i4"),
+        "objects": np.ascontiguousarray(store.objects[order], dtype="<i4"),
+        "scores": np.ascontiguousarray(store.scores[order], dtype="<f8"),
+    }
+    path = Path(path)
+    sections: dict[str, dict[str, object]] = {}
+    with _AtomicBinaryWriter(path) as handle:
+        handle.write(SNAPSHOT_V2_MAGIC)
+        position = len(SNAPSHOT_V2_MAGIC)
+        for name in _V2_SECTIONS:
+            array = arrays[name]
+            pad = (-position) % _V2_ALIGN
+            handle.write(b"\x00" * pad)
+            position += pad
+            data = array.tobytes()
+            handle.write(data)
+            sections[name] = {
+                "dtype": array.dtype.str,
+                "shape": [int(array.shape[0])],
+                "offset": position,
+                "nbytes": len(data),
+                "crc32": zlib.crc32(data),
+            }
+            position += len(data)
+        manifest = json.dumps(
+            {
+                "format": SNAPSHOT_FORMAT,
+                "version": SNAPSHOT_V2_VERSION,
+                "name": graph.name,
+                "n_triples": store.n_triples,
+                "n_terms": store.n_terms,
+                "row_order": "score",
+                "checksum": "crc32",
+                "sections": sections,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        handle.write(manifest)
+        handle.write(struct.pack("<Q", len(manifest)))
+    return store.n_triples
+
+
+def read_snapshot_v2_manifest(path: str | Path) -> dict:
+    """Parse and structurally validate a v2 snapshot's JSON manifest.
+
+    Every failure mode — wrong magic, truncation, mangled JSON, missing
+    or malformed sections, out-of-bounds offsets — raises
+    :class:`KnowledgeGraphError` naming the path and the expected format,
+    never a raw ``KeyError``/``json`` traceback.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(len(SNAPSHOT_V2_MAGIC))
+            if head != SNAPSHOT_V2_MAGIC:
+                if head[:2] == b"PK":
+                    raise _v2_error(
+                        path,
+                        "this is a zip container — likely a v1 .npz snapshot; "
+                        "use load_snapshot",
+                    )
+                raise _v2_error(path, f"bad magic {head!r}")
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size < len(SNAPSHOT_V2_MAGIC) + 8:
+                raise _v2_error(path, f"truncated file ({size} bytes)")
+            handle.seek(size - 8)
+            (manifest_len,) = struct.unpack("<Q", handle.read(8))
+            if not 2 <= manifest_len <= size - len(SNAPSHOT_V2_MAGIC) - 8:
+                raise _v2_error(
+                    path, f"manifest length {manifest_len} outside file bounds"
+                )
+            handle.seek(size - 8 - manifest_len)
+            raw = handle.read(manifest_len)
+    except OSError as error:
+        raise KnowledgeGraphError(f"{path}: cannot read snapshot: {error}") from None
+    try:
+        manifest = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise _v2_error(path, f"manifest is not valid JSON: {error}") from None
+    if not isinstance(manifest, dict):
+        raise _v2_error(path, "manifest must be a JSON object")
+    if manifest.get("format") != SNAPSHOT_FORMAT:
+        raise _v2_error(
+            path, f"bad snapshot magic {manifest.get('format')!r} in manifest"
+        )
+    version = manifest.get("version")
+    if version != SNAPSHOT_V2_VERSION:
+        raise _v2_error(
+            path,
+            f"snapshot version {version!r} unsupported "
+            f"(this reader handles packed version {SNAPSHOT_V2_VERSION})",
+        )
+    sections = manifest.get("sections")
+    if not isinstance(sections, dict):
+        raise _v2_error(path, "manifest has no sections table")
+    for name in _V2_SECTIONS:
+        section = sections.get(name)
+        if not isinstance(section, dict):
+            raise _v2_error(path, f"manifest is missing section {name!r}")
+        try:
+            offset = int(section["offset"])
+            nbytes = int(section["nbytes"])
+            (length,) = (int(value) for value in section["shape"])
+            dtype = str(section["dtype"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise _v2_error(
+                path, f"malformed section {name!r}: {error!r}"
+            ) from None
+        if offset < len(SNAPSHOT_V2_MAGIC) or offset + nbytes > size - 8 - manifest_len:
+            raise _v2_error(
+                path,
+                f"section {name!r} [{offset}, {offset + nbytes}) "
+                f"outside file bounds",
+            )
+        if length < 0 or (dtype[:2] not in ("<U", "<i", "<f")):
+            raise _v2_error(path, f"section {name!r} has bad dtype/shape")
+    return manifest
+
+
+def _v2_section_arrays(path: Path, manifest: dict, verify: bool) -> dict:
+    import numpy as np
+
+    arrays: dict[str, np.ndarray] = {}
+    for name in _V2_SECTIONS:
+        section = manifest["sections"][name]
+        try:
+            dtype = np.dtype(str(section["dtype"]))
+        except TypeError as error:
+            raise _v2_error(path, f"section {name!r}: {error}") from None
+        length = int(section["shape"][0])
+        if length * dtype.itemsize != int(section["nbytes"]):
+            raise _v2_error(
+                path,
+                f"section {name!r} declares {section['nbytes']} bytes for "
+                f"{length} x {dtype}",
+            )
+        if length:
+            array = np.memmap(
+                path, dtype=dtype, mode="r",
+                offset=int(section["offset"]), shape=(length,),
+            )
+        else:
+            array = np.empty(0, dtype=dtype)
+        if verify:
+            checksum = zlib.crc32(array.tobytes())
+            if checksum != int(section.get("crc32", -1)):
+                raise _v2_error(
+                    path,
+                    f"section {name!r} checksum mismatch "
+                    f"(stored {section.get('crc32')}, computed {checksum})",
+                )
+        arrays[name] = array
+    return arrays
+
+
+def open_snapshot_v2_store(path: str | Path, *, verify: bool = False) -> "ColumnarStore":
+    """Attach a v2 packed snapshot as a memory-mapped :class:`ColumnarStore`.
+
+    The implementation behind :meth:`ColumnarStore.open_mmap` — O(ms):
+    one manifest parse plus six ``np.memmap`` views; no column is read,
+    validated, decompressed or copied.  ``verify=True`` checks section
+    checksums and full store invariants (reads everything — the choice
+    between trust-and-attach and verify-and-attach is the caller's).
+    """
+    store, _ = _attach_v2(Path(path), verify=verify)
+    return store
+
+
+def _attach_v2(path: Path, verify: bool) -> "tuple[ColumnarStore, dict]":
+    from repro.kg.columnar import ColumnarStore
+
+    manifest = read_snapshot_v2_manifest(path)
+    arrays = _v2_section_arrays(path, manifest, verify)
+    if len(arrays["term_rank"]) != len(arrays["terms"]):
+        raise _v2_error(
+            path,
+            f"term_rank length {len(arrays['term_rank'])} != "
+            f"n_terms {len(arrays['terms'])}",
+        )
+    try:
+        store = ColumnarStore(
+            arrays["terms"],
+            arrays["subjects"],
+            arrays["predicates"],
+            arrays["objects"],
+            arrays["scores"],
+        )
+    except KnowledgeGraphError as error:
+        raise _v2_error(path, f"corrupt snapshot: {error}") from None
+    store._term_rank = arrays["term_rank"]
+    store.source_path = str(path)
+    if verify:
+        try:
+            store.validate()
+        except KnowledgeGraphError as error:
+            raise _v2_error(path, f"corrupt snapshot: {error}") from None
+    return store, manifest
+
+
+def load_snapshot_v2(
+    path: str | Path,
+    name: str | None = None,
+    mutable: bool = False,
+    *,
+    mmap: bool = True,
+    verify: bool = False,
+) -> KnowledgeGraph:
+    """Load a v2 packed snapshot written by :func:`save_snapshot_v2`.
+
+    Returns a read-only :class:`~repro.kg.columnar.ColumnarGraph` whose
+    columns are ``np.memmap`` views over the file (pass ``mmap=False``
+    to copy them into process-private memory, or ``mutable=True`` for an
+    object-backed editable graph).  Attach time is O(ms) independent of
+    graph size; processes attaching the same file share one physical
+    copy of the columns through the page cache.
+    """
+    import numpy as np
+
+    from repro.kg.columnar import ColumnarGraph
+
+    path = Path(path)
+    store, manifest = _attach_v2(path, verify=verify)
+    if not mmap:
+        from repro.kg.columnar import ColumnarStore
+
+        copied = ColumnarStore(
+            np.array(store.terms),
+            np.array(store.subjects),
+            np.array(store.predicates),
+            np.array(store.objects),
+            np.array(store.scores),
+        )
+        copied._term_rank = np.array(store._ranks())
+        store = copied
+    stored_name = str(manifest.get("name", "")) or path.stem
+    graph = ColumnarGraph(store, name=name or stored_name)
     return graph.thaw() if mutable else graph
 
 

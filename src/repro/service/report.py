@@ -191,10 +191,23 @@ class WorkloadReport:
                 f"evictions {self.cache.evictions})"
             )
         if "plan_cache_hits" in self.extras:
-            lines.append(
+            plan_line = (
                 f"{'plan cache':<{width}} "
-                f"{self.extras['plan_cache_hits']} hits, "
-                f"{self.extras['plan_cache_size']} plans"
+                f"{self.extras['plan_cache_hits']} hits"
+            )
+            # Process-model reports sum worker-side hits but have no
+            # master-side plan cache to size.
+            if "plan_cache_size" in self.extras:
+                plan_line += f", {self.extras['plan_cache_size']} plans"
+            lines.append(plan_line)
+        if self.extras.get("worker_model") == "process":
+            lines.append(
+                f"{'process fleet':<{width}} "
+                f"{self.extras.get('process_workers_used', 0)} workers "
+                f"(generation {self.extras.get('process_generation', 0)}), "
+                f"{self.extras.get('process_chunks', 0)} chunks, "
+                f"attach "
+                f"{self.extras.get('process_attach_seconds', 0.0) * 1e3:.1f} ms"
             )
         if "result_cache_hits" in self.extras:
             lines.append(
@@ -219,12 +232,18 @@ class WorkloadReport:
                 f"(graph v{self.extras['graph_version']})"
             )
         if "shards" in self.extras:
-            lines.append(
+            shard_line = (
                 f"{'shards':<{width}} "
-                f"{self.extras['shards']} ({self.extras['shard_strategy']}), "
-                f"shard caches {self.extras['shard_cache_hits']} hits / "
-                f"{self.extras['shard_cache_misses']} misses"
+                f"{self.extras['shards']} ({self.extras['shard_strategy']})"
             )
+            # Per-shard caches live in the workers under the process
+            # model, so their traffic is absent from master reports.
+            if "shard_cache_hits" in self.extras:
+                shard_line += (
+                    f", shard caches {self.extras['shard_cache_hits']} hits /"
+                    f" {self.extras['shard_cache_misses']} misses"
+                )
+            lines.append(shard_line)
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -203,3 +203,64 @@ class TestFreezeThaw:
             [Triple("a", "p", "b", 2.0)], name="direct"
         )
         assert graph.size == 1 and graph.name == "direct"
+
+
+class TestOpenMmap:
+    """ColumnarStore.open_mmap: the v2 attach entry point on the store."""
+
+    def test_attach_serves_identical_match_lists(self, columnar_graph, tmp_path):
+        from repro.kg import storage
+
+        path = tmp_path / "music.kg2"
+        storage.save_snapshot_v2(columnar_graph, path)
+        attached = ColumnarStore.open_mmap(path)
+        assert attached.n_triples == columnar_graph.store.n_triples
+        served = ColumnarGraph(attached, name="mmap")
+        for pattern in PATTERNS:
+            assert (
+                served.match_list(pattern).triples
+                == columnar_graph.match_list(pattern).triples
+            ), pattern
+
+    def test_attach_does_not_resort_the_dictionary(self, columnar_graph, tmp_path):
+        """The persisted term_rank section is used as-is."""
+        from repro.kg import storage
+
+        path = tmp_path / "music.kg2"
+        storage.save_snapshot_v2(columnar_graph, path)
+        attached = ColumnarStore.open_mmap(path)
+        assert attached._term_rank is not None  # present before any query
+        np.testing.assert_array_equal(
+            attached._ranks(), columnar_graph.store._ranks()
+        )
+
+    def test_verify_flag_checks_invariants(self, columnar_graph, tmp_path):
+        from repro.kg import storage
+
+        path = tmp_path / "music.kg2"
+        storage.save_snapshot_v2(columnar_graph, path)
+        attached = ColumnarStore.open_mmap(path, verify=True)
+        assert attached.n_triples == columnar_graph.store.n_triples
+
+
+class TestLexiconSharing:
+    """share_lexicon_from: shards borrow the parent's decoded dictionary."""
+
+    def test_requires_identical_terms_array(self, columnar_graph):
+        other = ColumnarStore.from_triples([Triple("x", "y", "z")])
+        with pytest.raises(KnowledgeGraphError, match="identical terms array"):
+            other.share_lexicon_from(columnar_graph.store)
+
+    def test_child_delegates_lazily(self, columnar_graph):
+        parent = columnar_graph.store
+        child = ColumnarStore(
+            parent.terms,
+            parent.subjects[:2],
+            parent.predicates[:2],
+            parent.objects[:2],
+            parent.scores[:2],
+        )
+        child.share_lexicon_from(parent)
+        assert child.term_list() is parent.term_list()
+        assert child.term_id("dylan") == parent.term_id("dylan")
+        np.testing.assert_array_equal(child._ranks(), parent._ranks())

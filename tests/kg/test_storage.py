@@ -271,3 +271,273 @@ class TestUpdateTSV:
             list(storage.iter_update_tsv(path))
         assert message in str(excinfo.value)
         assert ":2:" in str(excinfo.value)
+
+
+class TestSnapshotV2:
+    """The packed mmap format: save_snapshot_v2 / load_snapshot_v2."""
+
+    def test_round_trip_preserves_graph(self, graph, tmp_path):
+        path = tmp_path / "kg.kg2"
+        written = storage.save_snapshot_v2(graph, path)
+        assert written == 3
+        loaded = storage.load_snapshot_v2(path)
+        assert set(loaded.triples()) == set(graph.triples())
+        assert loaded.score_of("a", "type", "t1") == 10.0
+
+    def test_byte_identical_to_npz_backend(self, graph, tmp_path):
+        """Same TSV export from the v1 and v2 snapshot backends."""
+        storage.save_snapshot(graph, tmp_path / "kg.npz")
+        storage.save_snapshot_v2(graph, tmp_path / "kg.kg2")
+        from_npz = storage.load_snapshot(tmp_path / "kg.npz")
+        from_kg2 = storage.load_snapshot_v2(tmp_path / "kg.kg2")
+        storage.save_tsv(from_npz, tmp_path / "v1.tsv")
+        storage.save_tsv(from_kg2, tmp_path / "v2.tsv")
+        assert (tmp_path / "v1.tsv").read_bytes() == (tmp_path / "v2.tsv").read_bytes()
+
+    def test_load_snapshot_dispatches_on_content(self, graph, tmp_path):
+        """load_snapshot recognises the v2 magic regardless of suffix."""
+        path = tmp_path / "kg.npz"  # misleading suffix on purpose
+        storage.save_snapshot_v2(graph, path)
+        loaded = storage.load_snapshot(path)
+        assert set(loaded.triples()) == set(graph.triples())
+
+    def test_columns_are_memory_mapped(self, graph, tmp_path):
+        import numpy as np
+
+        def is_mapped(array):
+            return isinstance(array, np.memmap) or isinstance(array.base, np.memmap)
+
+        path = tmp_path / "kg.kg2"
+        storage.save_snapshot_v2(graph, path)
+        loaded = storage.load_snapshot_v2(path)
+        # Constructor views may strip the np.memmap subclass, but the
+        # buffer must still be the mapped file (zero copies).
+        assert is_mapped(loaded.store.scores)
+        assert is_mapped(loaded.store.subjects)
+        assert loaded.store.source_path == str(path)
+
+    def test_mmap_false_copies_into_memory(self, graph, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "kg.kg2"
+        storage.save_snapshot_v2(graph, path)
+        loaded = storage.load_snapshot_v2(path, mmap=False)
+        assert not isinstance(loaded.store.scores, np.memmap)
+        assert set(loaded.triples()) == set(graph.triples())
+
+    def test_name_stored_and_overridable(self, graph, tmp_path):
+        path = tmp_path / "kg.kg2"
+        graph.name = "the-graph"
+        storage.save_snapshot_v2(graph, path)
+        assert storage.load_snapshot_v2(path).name == "the-graph"
+        assert storage.load_snapshot_v2(path, name="other").name == "other"
+
+    def test_mutable_round_trip(self, graph, tmp_path):
+        path = tmp_path / "kg.kg2"
+        storage.save_snapshot_v2(graph, path)
+        loaded = storage.load_snapshot_v2(path, mutable=True)
+        assert type(loaded) is KnowledgeGraph
+        loaded.add("x", "y", "z")
+        assert loaded.size == 4
+
+    def test_empty_graph_round_trip(self, tmp_path):
+        path = tmp_path / "empty.kg2"
+        assert storage.save_snapshot_v2(KnowledgeGraph(), path) == 0
+        loaded = storage.load_snapshot_v2(path)
+        assert loaded.size == 0
+
+    def test_verify_accepts_good_file(self, graph, tmp_path):
+        path = tmp_path / "kg.kg2"
+        storage.save_snapshot_v2(graph, path)
+        loaded = storage.load_snapshot_v2(path, verify=True)
+        assert set(loaded.triples()) == set(graph.triples())
+
+    def test_live_graph_snapshot_compacts(self, graph, tmp_path):
+        from repro.kg.delta import GraphUpdate, LiveGraph
+
+        live = LiveGraph(graph)
+        live.apply_updates(
+            [GraphUpdate.add("x", "type", "t1", 7.0), GraphUpdate.remove("c", "likes", "a")]
+        )
+        path = tmp_path / "kg.kg2"
+        assert storage.save_snapshot_v2(live, path) == 3
+        loaded = storage.load_snapshot_v2(path)
+        assert set(loaded.triples()) == set(live.triples())
+
+    def test_nan_score_rejected_before_writing(self, tmp_path):
+        kg = KnowledgeGraph()
+        kg.add("a", "p", "b", score=float("nan"))
+        with pytest.raises(KnowledgeGraphError, match="finite"):
+            storage.save_snapshot_v2(kg, tmp_path / "kg.kg2")
+        assert not (tmp_path / "kg.kg2").exists()
+
+
+class TestSnapshotV2Errors:
+    """Every corruption mode names the path and hints at the format."""
+
+    def _save(self, graph, tmp_path):
+        path = tmp_path / "kg.kg2"
+        storage.save_snapshot_v2(graph, path)
+        return path
+
+    def test_truncated_file(self, graph, tmp_path):
+        path = self._save(graph, tmp_path)
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(KnowledgeGraphError, match=r"kg\.kg2.*truncated"):
+            storage.load_snapshot_v2(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "kg.kg2"
+        path.write_bytes(b"not a packed snapshot at all" + b"\x00" * 64)
+        with pytest.raises(KnowledgeGraphError, match=r"kg\.kg2.*bad magic"):
+            storage.load_snapshot_v2(path)
+
+    def test_v1_npz_given_to_v2_reader_hints_at_load_snapshot(self, graph, tmp_path):
+        path = tmp_path / "kg.npz"
+        storage.save_snapshot(graph, path)
+        with pytest.raises(KnowledgeGraphError, match="zip container.*load_snapshot"):
+            storage.load_snapshot_v2(path)
+
+    def test_garbage_manifest_tail(self, graph, tmp_path):
+        import struct
+
+        path = self._save(graph, tmp_path)
+        data = path.read_bytes()
+        (manifest_len,) = struct.unpack("<Q", data[-8:])
+        body = data[: len(data) - 8 - manifest_len]
+        garbage = b"{not json!!"
+        path.write_bytes(body + garbage + struct.pack("<Q", len(garbage)))
+        with pytest.raises(KnowledgeGraphError, match=r"kg\.kg2.*not valid JSON"):
+            storage.load_snapshot_v2(path)
+
+    def test_manifest_length_out_of_bounds(self, graph, tmp_path):
+        import struct
+
+        path = self._save(graph, tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-8] + struct.pack("<Q", 2**40))
+        with pytest.raises(KnowledgeGraphError, match="manifest length.*outside"):
+            storage.load_snapshot_v2(path)
+
+    def _rewrite_manifest(self, path, mutate):
+        import json
+        import struct
+
+        data = path.read_bytes()
+        (manifest_len,) = struct.unpack("<Q", data[-8:])
+        manifest = json.loads(data[len(data) - 8 - manifest_len : -8])
+        mutate(manifest)
+        raw = json.dumps(manifest, sort_keys=True).encode()
+        path.write_bytes(
+            data[: len(data) - 8 - manifest_len] + raw + struct.pack("<Q", len(raw))
+        )
+
+    def test_future_version_rejected_with_hint(self, graph, tmp_path):
+        path = self._save(graph, tmp_path)
+        self._rewrite_manifest(path, lambda m: m.update(version=99))
+        with pytest.raises(KnowledgeGraphError, match="version 99.*packed version 2"):
+            storage.load_snapshot_v2(path)
+
+    def test_foreign_format_rejected(self, graph, tmp_path):
+        path = self._save(graph, tmp_path)
+        self._rewrite_manifest(path, lambda m: m.update(format="someone/else"))
+        with pytest.raises(KnowledgeGraphError, match="bad snapshot magic"):
+            storage.load_snapshot_v2(path)
+
+    def test_missing_section_named(self, graph, tmp_path):
+        path = self._save(graph, tmp_path)
+        self._rewrite_manifest(path, lambda m: m["sections"].pop("scores"))
+        with pytest.raises(KnowledgeGraphError, match="missing section 'scores'"):
+            storage.load_snapshot_v2(path)
+
+    def test_section_offset_out_of_bounds(self, graph, tmp_path):
+        path = self._save(graph, tmp_path)
+        self._rewrite_manifest(
+            path, lambda m: m["sections"]["scores"].update(offset=2**40)
+        )
+        with pytest.raises(KnowledgeGraphError, match="'scores'.*outside file bounds"):
+            storage.load_snapshot_v2(path)
+
+    def test_section_shape_nbytes_mismatch(self, graph, tmp_path):
+        path = self._save(graph, tmp_path)
+        self._rewrite_manifest(
+            path, lambda m: m["sections"]["scores"].update(shape=[999])
+        )
+        with pytest.raises(KnowledgeGraphError):
+            storage.load_snapshot_v2(path)
+
+    @pytest.mark.parametrize("section", ["subjects", "scores", "terms"])
+    def test_verify_catches_flipped_bytes_in_every_section(
+        self, graph, tmp_path, section
+    ):
+        """Corruption *inside a section* (offsets from the manifest, not
+        guessed — padding bytes are meaningless by design) fails verify."""
+        path = self._save(graph, tmp_path)
+        manifest = storage.read_snapshot_v2_manifest(path)
+        meta = manifest["sections"][section]
+        data = bytearray(path.read_bytes())
+        where = int(meta["offset"]) + int(meta["nbytes"]) // 2
+        data[where] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(KnowledgeGraphError, match=f"'{section}' checksum mismatch"):
+            storage.load_snapshot_v2(path, verify=True)
+
+    def test_unreadable_path_names_file(self, tmp_path):
+        with pytest.raises(KnowledgeGraphError, match="no-such"):
+            storage.load_snapshot_v2(tmp_path / "no-such.kg2")
+
+
+class TestAtomicSnapshotWrites:
+    """A crashed writer never leaves a file (or ruins one) at the target."""
+
+    class _Boom(RuntimeError):
+        pass
+
+    def _crashing_graph(self, graph):
+        """A graph whose column extraction succeeds but whose terms blow
+        up mid-serialisation — simulating a writer crash after the
+        destination would already have been opened by a naive writer."""
+        crasher = self
+
+        class CrashingStore:
+            def __getattr__(self, name):
+                raise crasher._Boom("mid-write failure")
+
+        graph.store = CrashingStore()
+        return graph
+
+    @pytest.mark.parametrize("saver", ["save_snapshot", "save_snapshot_v2"])
+    def test_failed_write_leaves_no_file(self, tmp_path, saver):
+        bad = KnowledgeGraph()
+        bad.add("a", "p", "b", score=float("nan"))  # crashes validation
+        target = tmp_path / "kg.bin"
+        with pytest.raises(KnowledgeGraphError):
+            getattr(storage, saver)(bad, target)
+        assert list(tmp_path.iterdir()) == []  # no target, no temp litter
+
+    @pytest.mark.parametrize("saver", ["save_snapshot", "save_snapshot_v2"])
+    def test_failed_write_preserves_previous_snapshot(self, graph, tmp_path, saver):
+        target = tmp_path / "kg.bin"
+        getattr(storage, saver)(graph, target)
+        before = target.read_bytes()
+        bad = KnowledgeGraph()
+        bad.add("x", "p", "y", score=float("nan"))
+        with pytest.raises(KnowledgeGraphError):
+            getattr(storage, saver)(bad, target)
+        assert target.read_bytes() == before  # old snapshot intact
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_mid_stream_crash_cleans_temp(self, graph, tmp_path, monkeypatch):
+        """Even a crash *during* byte writing (post-validation) must not
+        leave a partial file at the destination."""
+        target = tmp_path / "kg.kg2"
+        real_dumps = storage.json.dumps
+
+        def exploding_dumps(*args, **kwargs):
+            raise self._Boom("mid-write failure")
+
+        monkeypatch.setattr(storage.json, "dumps", exploding_dumps)
+        with pytest.raises(self._Boom):
+            storage.save_snapshot_v2(graph, target)
+        monkeypatch.setattr(storage.json, "dumps", real_dumps)
+        assert list(tmp_path.iterdir()) == []
